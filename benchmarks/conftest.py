@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs its scenario once (``pedantic`` round) — the interesting
+output is the regenerated paper table printed to stdout (run with ``-s``),
+with wall-clock cost tracked by pytest-benchmark as a bonus.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    result = {}
+
+    def wrapper():
+        result["value"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    return result["value"]

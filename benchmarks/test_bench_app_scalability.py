@@ -1,0 +1,43 @@
+"""E1 — §6.1: "The current middleware can support more than 40
+simultaneous applications on a single server."
+
+Sweep the number of applications pushing periodic updates at one server
+over the custom TCP channel and locate the saturation knee.  The shape to
+reproduce: comfortably healthy at 40+, saturating somewhere past that.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import print_experiment
+from repro.bench.scenarios import run_app_scalability
+
+SWEEP = (10, 20, 30, 40, 50, 60, 70)
+DURATION = 20.0
+
+
+def test_bench_e1_app_scalability(benchmark):
+    rows = run_once(benchmark, lambda: [
+        run_app_scalability(n, duration=DURATION) for n in SWEEP])
+    print_experiment(
+        "E1: simultaneous applications per server",
+        "supports more than 40 simultaneous applications on a single server",
+        rows,
+        ["n_apps", "offered_updates_per_s", "mean_lag_ms", "p90_lag_ms",
+         "throughput_per_s", "saturated"],
+        finding=_finding(rows),
+    )
+    by_n = {r["n_apps"]: r for r in rows}
+    # the paper's operating point: >40 apps unsaturated
+    assert not by_n[40]["saturated"]
+    assert not by_n[50]["saturated"]
+    # the knee exists: eventually the server saturates
+    assert by_n[70]["saturated"]
+    # lag grows monotonically-ish with offered load across the knee
+    assert by_n[70]["mean_lag_ms"] > 5 * by_n[40]["mean_lag_ms"]
+
+
+def _finding(rows) -> str:
+    ok = max(r["n_apps"] for r in rows if not r["saturated"])
+    first_bad = min((r["n_apps"] for r in rows if r["saturated"]),
+                    default=None)
+    return (f"healthy at {ok} simultaneous apps; saturation first observed "
+            f"at {first_bad} (paper claims >40 supported)")

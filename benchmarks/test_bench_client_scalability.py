@@ -1,0 +1,47 @@
+"""E2 — §6.1: "the middleware was able to support 20 simultaneous clients.
+As we increased the number of simultaneous clients beyond 20, we noticed
+degradation in performance."
+
+Sweep the number of HTTP polling clients against one server and measure
+client-visible poll round-trip time.  The shape to reproduce: flat RTT up
+to ~20 clients, then clear degradation.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import print_experiment
+from repro.bench.scenarios import run_client_scalability
+
+SWEEP = (5, 10, 15, 20, 25, 30, 40)
+DURATION = 20.0
+
+
+def test_bench_e2_client_scalability(benchmark):
+    rows = run_once(benchmark, lambda: [
+        run_client_scalability(n, duration=DURATION) for n in SWEEP])
+    baseline = rows[0]["mean_rtt_ms"]
+    for r in rows:
+        r["slowdown"] = r["mean_rtt_ms"] / baseline
+    print_experiment(
+        "E2: simultaneous HTTP clients per server",
+        "20 simultaneous clients supported; beyond 20, degradation",
+        rows,
+        ["n_clients", "mean_rtt_ms", "p90_rtt_ms", "p99_rtt_ms", "polls",
+         "slowdown"],
+        finding=_finding(rows, baseline),
+    )
+    by_n = {r["n_clients"]: r for r in rows}
+    # up to 20 clients: RTT within 1.5x of the 5-client baseline
+    assert by_n[20]["mean_rtt_ms"] < 1.5 * baseline
+    # beyond 20: visible degradation (the paper's observation)
+    assert by_n[30]["mean_rtt_ms"] > 2.0 * baseline
+    assert by_n[40]["mean_rtt_ms"] > by_n[30]["mean_rtt_ms"]
+
+
+def _finding(rows, baseline) -> str:
+    knee = None
+    for r in rows:
+        if r["mean_rtt_ms"] > 2.0 * baseline:
+            knee = r["n_clients"]
+            break
+    return (f"RTT flat through 20 clients; degradation first visible at "
+            f"{knee} clients (paper: beyond 20)")

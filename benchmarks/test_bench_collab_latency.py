@@ -1,0 +1,61 @@
+"""E5 — §5.2.3: "Since clients always interact through the server closest
+to them and the broadcast messages for collaborative updates are generated
+at this server, these messages don't have to travel large distances across
+the network.  This reduces overall network traffic as well as client
+latencies when the servers are geographically far away."
+
+Same group topology as E4, sweeping WAN latency; measure client-perceived
+update staleness.  The shape to reproduce: the P2P advantage grows with
+geographic (WAN) distance.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import print_experiment
+from repro.bench.scenarios import run_collab_scenario
+
+WAN_LATENCIES = (0.020, 0.060, 0.120)
+DURATION = 20.0
+
+
+def test_bench_e5_collab_latency(benchmark):
+    def scenario():
+        rows = []
+        for wan in WAN_LATENCIES:
+            for mode in ("central", "p2p"):
+                rows.append(run_collab_scenario(
+                    mode=mode, n_domains=3, clients_per_domain=4,
+                    duration=DURATION, wan_latency=wan))
+        return rows
+
+    rows = run_once(benchmark, scenario)
+    print_experiment(
+        "E5: client update latency vs WAN distance",
+        "P2P reduces client latencies when the servers are geographically "
+        "far away",
+        rows,
+        ["mode", "wan_latency_ms", "mean_update_latency_ms",
+         "p90_update_latency_ms", "updates_seen"],
+        finding=_finding(rows),
+    )
+    by_key = {(r["mode"], round(r["wan_latency_ms"])): r for r in rows}
+    for wan_ms in (60, 120):
+        central = by_key[("central", wan_ms)]
+        p2p = by_key[("p2p", wan_ms)]
+        # p2p is faster once WAN distance matters
+        assert (p2p["mean_update_latency_ms"]
+                < central["mean_update_latency_ms"])
+    # and the gap widens with distance
+    gap = {w: (by_key[("central", w)]["mean_update_latency_ms"]
+               - by_key[("p2p", w)]["mean_update_latency_ms"])
+           for w in (20, 60, 120)}
+    assert gap[120] > gap[20]
+
+
+def _finding(rows) -> str:
+    pairs = {}
+    for r in rows:
+        pairs.setdefault(round(r["wan_latency_ms"]), {})[r["mode"]] = \
+            r["mean_update_latency_ms"]
+    parts = [f"@{w}ms WAN: central {v['central']:.0f}ms vs "
+             f"p2p {v['p2p']:.0f}ms" for w, v in sorted(pairs.items())]
+    return "; ".join(parts)

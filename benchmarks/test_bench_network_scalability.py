@@ -1,0 +1,92 @@
+"""E9 — §6.1: "With the peer-to-peer server network in place, the number of
+simultaneous applications that can be supported should further increase."
+
+Hold per-server load at a healthy 30 applications and grow the network:
+with k servers the deployment carries 30k applications at flat per-server
+update lag, while a single server given the same total saturates.  The
+shape: aggregate capacity scales with server count.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import print_experiment
+from repro.bench.scenarios import run_app_scalability
+from repro.bench.workload import make_app_farm
+from repro.core.deployment import build_collaboratory
+from repro.metrics import LatencyRecorder
+
+APPS_PER_SERVER = 30
+SWEEP = (1, 2, 4)
+DURATION = 15.0
+
+
+def _p2p_run(n_servers: int) -> dict:
+    collab = build_collaboratory(n_servers, apps_hosts_per_domain=4,
+                                 client_hosts_per_domain=1)
+    collab.run_bootstrap()
+    recorder = LatencyRecorder(collab.sim)
+    for d in range(n_servers):
+        collab.server_of(d).recorder = recorder
+        make_app_farm(collab, APPS_PER_SERVER, domain_index=d, user="bench")
+    collab.sim.run(until=collab.sim.now + DURATION)
+    stats = recorder.stats("update_lag")
+    total = n_servers * APPS_PER_SERVER
+    return {
+        "deployment": f"p2p x{n_servers}",
+        "n_servers": n_servers,
+        "total_apps": total,
+        "mean_lag_ms": stats.mean * 1e3,
+        "p90_lag_ms": stats.p90 * 1e3,
+        "throughput_per_s": stats.count / DURATION,
+        "saturated": stats.mean > 0.5,
+    }
+
+
+def _central_run(total_apps: int) -> dict:
+    row = run_app_scalability(total_apps, duration=DURATION)
+    return {
+        "deployment": "single server",
+        "n_servers": 1,
+        "total_apps": total_apps,
+        "mean_lag_ms": row["mean_lag_ms"],
+        "p90_lag_ms": row["p90_lag_ms"],
+        "throughput_per_s": row["throughput_per_s"],
+        "saturated": row["saturated"],
+    }
+
+
+def test_bench_e9_network_scalability(benchmark):
+    def scenario():
+        rows = []
+        for k in SWEEP:
+            rows.append(_p2p_run(k))
+        # the strawman: one server carrying the 4-server total
+        rows.append(_central_run(APPS_PER_SERVER * SWEEP[-1]))
+        return rows
+
+    rows = run_once(benchmark, scenario)
+    print_experiment(
+        "E9: aggregate application capacity of the server network",
+        "with the peer-to-peer server network in place, the number of "
+        "simultaneous applications ... should further increase",
+        rows,
+        ["deployment", "n_servers", "total_apps", "mean_lag_ms",
+         "p90_lag_ms", "throughput_per_s", "saturated"],
+        finding=_finding(rows),
+    )
+    p2p = [r for r in rows if r["deployment"].startswith("p2p")]
+    central = rows[-1]
+    # per-server lag stays flat as the network grows
+    assert all(not r["saturated"] for r in p2p)
+    assert p2p[-1]["mean_lag_ms"] < 3 * p2p[0]["mean_lag_ms"]
+    # the same total on one server saturates
+    assert central["saturated"]
+    assert central["mean_lag_ms"] > 5 * p2p[-1]["mean_lag_ms"]
+
+
+def _finding(rows) -> str:
+    p2p = [r for r in rows if r["deployment"].startswith("p2p")]
+    central = rows[-1]
+    return (f"{p2p[-1]['total_apps']} apps across "
+            f"{p2p[-1]['n_servers']} servers: lag "
+            f"{p2p[-1]['mean_lag_ms']:.0f}ms (flat); same total on one "
+            f"server: {central['mean_lag_ms']:.0f}ms (saturated)")

@@ -1,0 +1,68 @@
+"""A1 — §6.2: HTTP "necessitates a poll and pull mechanism for fetching the
+data from the server instead of a push mechanism" — the poll-interval
+trade-off.
+
+Fixed client population, sweep the poll cadence: polling faster lowers
+update staleness but multiplies server request load; polling slower starves
+freshness.  The shape: a latency/load Pareto frontier — the reason the
+paper flags poll-and-pull as "unsuitable for large virtual reality
+collaborative environments".
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import print_experiment
+from repro.bench.workload import make_app_farm, update_watching_client
+from repro.core.deployment import build_single_server
+from repro.metrics import LatencyRecorder
+
+POLL_INTERVALS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0)
+N_CLIENTS = 8
+DURATION = 20.0
+
+
+def _poll_run(poll_interval: float) -> dict:
+    collab = build_single_server()
+    collab.run_bootstrap()
+    apps = make_app_farm(collab, 1, user="bench", update_period=0.5)
+    collab.sim.run(until=collab.sim.now + 2.0)
+    app_id = apps[0].app_id
+    server = collab.server_of(0)
+    recorder = LatencyRecorder(collab.sim)
+    served_before = server.container.requests_served
+    for _ in range(N_CLIENTS):
+        portal = collab.add_portal(0)
+        collab.sim.spawn(update_watching_client(
+            portal, app_id, user="bench", duration=DURATION,
+            poll_interval=poll_interval, recorder=recorder))
+    collab.sim.run(until=collab.sim.now + DURATION + 1.0)
+    stats = recorder.stats("update_latency")
+    requests = server.container.requests_served - served_before
+    return {
+        "poll_interval_ms": poll_interval * 1e3,
+        "mean_staleness_ms": stats.mean * 1e3,
+        "p90_staleness_ms": stats.p90 * 1e3,
+        "server_requests": requests,
+        "requests_per_s": requests / DURATION,
+    }
+
+
+def test_bench_a1_poll_interval(benchmark):
+    rows = run_once(benchmark,
+                    lambda: [_poll_run(p) for p in POLL_INTERVALS])
+    print_experiment(
+        "A1 (ablation): poll-and-pull cadence trade-off",
+        "HTTP necessitates a poll and pull mechanism ... instead of a push "
+        "mechanism",
+        rows,
+        ["poll_interval_ms", "mean_staleness_ms", "p90_staleness_ms",
+         "server_requests", "requests_per_s"],
+        finding=(f"halving staleness costs ~2x requests: "
+                 f"{rows[0]['requests_per_s']:.0f} req/s at "
+                 f"{rows[0]['poll_interval_ms']:.0f}ms vs "
+                 f"{rows[-1]['requests_per_s']:.0f} req/s at "
+                 f"{rows[-1]['poll_interval_ms']:.0f}ms"),
+    )
+    # staleness grows with the poll interval...
+    assert rows[-1]["mean_staleness_ms"] > rows[0]["mean_staleness_ms"]
+    # ...while server load shrinks
+    assert rows[-1]["server_requests"] < rows[0]["server_requests"] / 4

@@ -1,0 +1,91 @@
+"""E3 — §6.1: "The fact that the system is able to support more simultaneous
+applications than simultaneous clients, illustrates the design trade off
+between high performance and wide spread deployment when using commodity
+technologies."
+
+Measure each protocol's sustainable per-server message ceiling: the custom
+TCP application channel vs HTTP+servlets vs CORBA.  The shape to reproduce:
+TCP > CORBA > HTTP in messages/second, explaining why apps outnumber
+clients.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import print_experiment
+from repro.bench.scenarios import run_app_scalability, run_client_scalability
+from repro.net import CostModel, Network
+from repro.orb import Orb
+from repro.sim import Simulator
+
+DURATION = 15.0
+
+
+class _Echo:
+    def echo(self, x):
+        return x
+
+
+def _corba_ceiling(duration: float, concurrency: int = 8) -> float:
+    """Saturate one ORB server with concurrent invocations; return calls/s."""
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("caller")
+    net.add_host("callee")
+    net.add_link("caller", "callee", 0.0005)
+    corb = Orb(net.hosts["caller"])
+    sorb = Orb(net.hosts["callee"])
+    ref = sorb.activate(_Echo(), key="echo")
+    done = {"calls": 0}
+
+    def caller():
+        while sim.now < duration:
+            yield from corb.invoke(ref, "echo", 42)
+            done["calls"] += 1
+
+    for _ in range(concurrency):
+        sim.spawn(caller())
+    sim.run(until=duration)
+    return done["calls"] / duration
+
+
+def test_bench_e3_protocol_asymmetry(benchmark):
+    costs = CostModel()
+
+    def scenario():
+        # TCP ceiling: push the app channel into saturation and read the
+        # measured message throughput (3 channel messages per update).
+        tcp_row = run_app_scalability(70, duration=DURATION)
+        tcp_ceiling = tcp_row["throughput_per_s"] * 3
+        # HTTP ceiling: saturated polling clients.
+        http_row = run_client_scalability(40, duration=DURATION,
+                                          poll_interval=0.05)
+        http_ceiling = http_row["polls"] / DURATION
+        corba_ceiling = _corba_ceiling(DURATION)
+        return [
+            {"protocol": "custom TCP (app channel)",
+             "model_cost_ms": costs.tcp_cost(512) * 1e3,
+             "measured_ceiling_msgs_per_s": tcp_ceiling},
+            {"protocol": "CORBA (server-to-server)",
+             "model_cost_ms": costs.corba_cost(512) * 1e3,
+             "measured_ceiling_msgs_per_s": corba_ceiling},
+            {"protocol": "HTTP+servlet (clients)",
+             "model_cost_ms": costs.http_cost(512) * 1e3,
+             "measured_ceiling_msgs_per_s": http_ceiling},
+        ]
+
+    rows = run_once(benchmark, scenario)
+    print_experiment(
+        "E3: protocol cost asymmetry",
+        "more simultaneous applications than clients — performance vs "
+        "wide deployment trade-off",
+        rows,
+        ["protocol", "model_cost_ms", "measured_ceiling_msgs_per_s"],
+        finding=(f"TCP sustains "
+                 f"{rows[0]['measured_ceiling_msgs_per_s']:.0f} msg/s vs "
+                 f"HTTP {rows[2]['measured_ceiling_msgs_per_s']:.0f} req/s "
+                 f"on the same server"),
+    )
+    tcp, corba, http = rows
+    assert (tcp["measured_ceiling_msgs_per_s"]
+            > corba["measured_ceiling_msgs_per_s"]
+            > http["measured_ceiling_msgs_per_s"])
+    assert tcp["model_cost_ms"] < corba["model_cost_ms"] < http["model_cost_ms"]

@@ -1,0 +1,118 @@
+"""E8 — §7: "We are also measuring the overheads incurred ... for remote
+authentication."
+
+Per §5.2.2, login authenticates the client with *every* peer server to
+collect the remote applications they may access.  Measure login latency as
+the server network grows.  The shape: cost grows linearly with the number
+of peers (the serial fan-out of the prototype), which quantifies the
+paper's own §6.3 concern and motivates its proposed GIS-style directory.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import print_experiment
+from repro.bench.workload import make_app_farm
+from repro.core.deployment import build_collaboratory
+from repro.metrics import LatencyRecorder
+
+SWEEP = (1, 2, 4, 8)
+LOGINS = 10
+
+
+def _login_run(n_domains: int, use_directory: bool = False) -> dict:
+    collab = build_collaboratory(n_domains, apps_hosts_per_domain=1,
+                                 client_hosts_per_domain=1,
+                                 use_directory=use_directory)
+    collab.run_bootstrap()
+    # one app per domain so the fan-out returns real listings
+    for d in range(n_domains):
+        make_app_farm(collab, 1, domain_index=d, user="bench")
+    collab.sim.run(until=collab.sim.now + 2.0)
+    recorder = LatencyRecorder(collab.sim)
+
+    def login_loop():
+        count = 0
+        for i in range(LOGINS):
+            portal = collab.add_portal(0)
+            recorder.start("login", i)
+            apps = yield from portal.login("bench")
+            recorder.stop("login", i)
+            count = len(apps)
+            yield from portal.logout()
+            portal.close()
+        return count
+
+    proc = collab.sim.spawn(login_loop())
+    apps_listed = collab.sim.run(until=proc)
+    stats = recorder.stats("login")
+    return {
+        "auth": "directory" if use_directory else "fan-out",
+        "n_servers": n_domains,
+        "n_peers": n_domains - 1,
+        "apps_listed": apps_listed,
+        "mean_login_ms": stats.mean * 1e3,
+        "p90_login_ms": stats.p90 * 1e3,
+    }
+
+
+def test_bench_e8_remote_authentication(benchmark):
+    rows = run_once(benchmark, lambda: [_login_run(n) for n in SWEEP])
+    for row in rows:
+        base = rows[0]["mean_login_ms"]
+        row["overhead_ms"] = row["mean_login_ms"] - base
+        row["per_peer_ms"] = (row["overhead_ms"] / row["n_peers"]
+                              if row["n_peers"] else 0.0)
+    print_experiment(
+        "E8: remote-authentication overhead at login",
+        "measuring the overheads incurred for remote authentication",
+        rows,
+        ["n_servers", "n_peers", "apps_listed", "mean_login_ms",
+         "overhead_ms", "per_peer_ms"],
+        finding=(f"login grows ~{rows[-1]['per_peer_ms']:.0f}ms per peer "
+                 f"server (serial CORBA fan-out)"),
+    )
+    # every server's applications show up after one login
+    for row in rows:
+        assert row["apps_listed"] == row["n_servers"]
+    # cost grows with peers
+    assert rows[-1]["mean_login_ms"] > rows[0]["mean_login_ms"]
+    # roughly linear: 8-server overhead ≈ (7/3)x the 4-server overhead
+    if rows[-1]["overhead_ms"] > 0 and rows[-2]["overhead_ms"] > 0:
+        ratio = rows[-1]["overhead_ms"] / rows[-2]["overhead_ms"]
+        assert 1.4 < ratio < 4.0
+
+
+def test_bench_a5_directory_vs_fanout_login(benchmark):
+    """A5 (ablation) — §6.3's fix: "a centralized directory service like
+    the GIS that maintains user-IDs and other global information" turns
+    login from O(peers) into O(1)."""
+    rows = run_once(benchmark, lambda: [
+        _login_run(n, use_directory=d)
+        for n in (2, 8) for d in (False, True)])
+    print_experiment(
+        "A5 (ablation): login via peer fan-out vs GIS-style directory",
+        "a centralized directory service like the GIS ... All the servers "
+        "in the system can now use this directory service",
+        rows,
+        ["auth", "n_servers", "apps_listed", "mean_login_ms",
+         "p90_login_ms"],
+        finding=_a5_finding(rows),
+    )
+    by_key = {(r["auth"], r["n_servers"]): r for r in rows}
+    # directory login is flat in network size...
+    assert (by_key[("directory", 8)]["mean_login_ms"]
+            < 1.5 * by_key[("directory", 2)]["mean_login_ms"])
+    # ...and beats the fan-out decisively at 8 servers
+    assert (by_key[("fan-out", 8)]["mean_login_ms"]
+            > 2 * by_key[("directory", 8)]["mean_login_ms"])
+    # both list the same applications
+    for n in (2, 8):
+        assert (by_key[("directory", n)]["apps_listed"]
+                == by_key[("fan-out", n)]["apps_listed"])
+
+
+def _a5_finding(rows) -> str:
+    by_key = {(r["auth"], r["n_servers"]): r for r in rows}
+    return (f"at 8 servers: fan-out "
+            f"{by_key[('fan-out', 8)]['mean_login_ms']:.0f}ms vs directory "
+            f"{by_key[('directory', 8)]['mean_login_ms']:.0f}ms "
+            f"(flat in network size)")

@@ -1,0 +1,43 @@
+"""E6 — §7: "we are currently evaluating this framework to determine
+response latencies and throughput for remote applications as compared to
+multiple applications connected to the same server."
+
+A steering client drives an interaction-dominant application that is either
+homed at the client's own server or one CORBA hop (WAN) away.  The shape:
+remote access costs roughly one WAN round trip plus ORB dispatch on top of
+the local path — global access is not free, but it is bounded and small
+relative to human steering cadence.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import print_experiment
+from repro.bench.scenarios import run_remote_vs_local
+
+DURATION = 20.0
+WAN = 0.030
+
+
+def test_bench_e6_remote_vs_local(benchmark):
+    rows = run_once(benchmark, lambda: [
+        run_remote_vs_local(remote=remote, duration=DURATION,
+                            wan_latency=WAN)
+        for remote in (False, True)])
+    local, remote = rows
+    overhead = remote["mean_steer_rtt_ms"] - local["mean_steer_rtt_ms"]
+    print_experiment(
+        "E6: steering latency, local vs remote application",
+        "response latencies and throughput for remote applications vs "
+        "applications connected to the same server",
+        rows,
+        ["placement", "wan_latency_ms", "mean_steer_rtt_ms",
+         "p90_steer_rtt_ms", "commands", "throughput_per_s"],
+        finding=(f"remote adds {overhead:.0f}ms over local "
+                 f"({local['mean_steer_rtt_ms']:.0f}ms) — about one WAN "
+                 f"round trip ({2 * WAN * 1e3:.0f}ms) plus ORB dispatch"),
+    )
+    # remote is slower, by at least the WAN round trip...
+    assert overhead > 2 * WAN * 1e3 * 0.8
+    # ...but not catastrophically (within ~4x of one WAN round trip)
+    assert overhead < 8 * WAN * 1e3
+    # throughput ordering follows latency
+    assert remote["throughput_per_s"] <= local["throughput_per_s"] * 1.05

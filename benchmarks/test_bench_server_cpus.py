@@ -1,0 +1,56 @@
+"""A6 — vertical vs horizontal scaling of the client limit.
+
+§6.1's ~20-client limit is a CPU limit of the commodity servlet engine.
+Two ways out: a beefier server (more servlet worker threads / CPUs —
+vertical) or the paper's peer-to-peer server network (horizontal, E9).
+This ablation quantifies the vertical path: the degradation knee moves
+proportionally with server CPUs, so the P2P network is what you need once
+a single box tops out.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import print_experiment
+from repro.bench.scenarios import run_client_scalability
+
+CLIENTS = (10, 20, 30, 40, 60)
+CPUS = (1, 2, 4)
+DURATION = 15.0
+
+
+def test_bench_a6_server_cpu_scaling(benchmark):
+    rows = run_once(benchmark, lambda: [
+        run_client_scalability(n, duration=DURATION, server_cpus=c)
+        for c in CPUS for n in CLIENTS])
+    print_experiment(
+        "A6 (ablation): client capacity vs server CPUs (vertical scaling)",
+        "20 simultaneous clients ... beyond 20, degradation (a server-CPU "
+        "limit)",
+        rows,
+        ["server_cpus", "n_clients", "mean_rtt_ms", "p90_rtt_ms", "polls"],
+        finding=_finding(rows),
+    )
+    by = {(r["server_cpus"], r["n_clients"]): r["mean_rtt_ms"]
+          for r in rows}
+    base = by[(1, 10)]
+    # 1 CPU: degraded at 30 clients
+    assert by[(1, 30)] > 2 * base
+    # 2 CPUs: healthy at 30 (knee roughly doubled), degraded by 60
+    assert by[(2, 30)] < 1.5 * base
+    assert by[(2, 60)] > 2 * base
+    # 4 CPUs: healthy through 60
+    assert by[(4, 60)] < 1.5 * base
+
+
+def _finding(rows) -> str:
+    by = {(r["server_cpus"], r["n_clients"]): r["mean_rtt_ms"]
+          for r in rows}
+    base = by[(1, 10)]
+
+    def knee(cpus):
+        for n in CLIENTS:
+            if by[(cpus, n)] > 2 * base:
+                return n
+        return f">{CLIENTS[-1]}"
+
+    return (f"degradation knee: {knee(1)} clients @1 CPU, {knee(2)} @2, "
+            f"{knee(4)} @4 — capacity tracks server CPUs")

@@ -1,0 +1,86 @@
+"""Automated run-health monitoring of a numerical-relativity evolution.
+
+The Cactus-style workflow DISCOVER served: a long-running evolution is
+watched through its *constraint monitor*; when a perturbation drives the
+constraint violation past a threshold, the on-call scientist pauses the
+run, raises the Kreiss-Oliger dissipation, and resumes — without ever
+touching the machine the code runs on.
+
+Run:  python examples/relativity_monitoring.py
+"""
+
+from repro import AppConfig, build_single_server
+from repro.apps import RelativityApp
+
+
+def main() -> None:
+    collab = build_single_server()
+    collab.run_bootstrap()
+
+    evolution = collab.add_app(
+        0, RelativityApp, "bbh-toy-evolution", points=200,
+        acl={"oncall": "write"},
+        config=AppConfig(steps_per_phase=25, step_time=0.01,
+                         interaction_window=0.05))
+    collab.sim.run(until=2.0)
+    print(f"evolution online: {evolution.app_id}")
+
+    oncall = collab.add_portal(0)
+    THRESHOLD = 1e-3
+
+    def watch_and_intervene():
+        yield from oncall.login("oncall")
+        session = yield from oncall.open(evolution.app_id)
+        yield from session.acquire_lock()
+
+        # something bumps the run: inject a sharp, noisy perturbation
+        yield oncall.sim.timeout(2.0)
+        yield from session.actuate("perturb",
+                                   {"center": 0.3, "amplitude": 0.8,
+                                    "width": 0.01})
+        print("perturbation injected — watching the constraint monitor")
+
+        intervened = False
+        c_at_intervention = None
+        post_readings = []
+        for _ in range(14):
+            yield oncall.sim.timeout(1.0)
+            c = yield from session.read_sensor("constraint_norm")
+            amp = yield from session.read_sensor("phi_max")
+            marker = ""
+            if c > THRESHOLD and not intervened:
+                yield from session.pause()
+                old = yield from session.get_param("dissipation")
+                yield from session.set_param("dissipation", 0.15)
+                yield from session.resume()
+                marker = (f"<-- paused, dissipation {old} -> 0.15, "
+                          f"resumed")
+                intervened = True
+                c_at_intervention = c
+            elif intervened:
+                post_readings.append(c)
+            print(f"  t={oncall.sim.now:6.1f}  constraint={c:.3e}  "
+                  f"|phi|max={amp:8.3f}  {marker}")
+
+        final_c = yield from session.read_sensor("constraint_norm")
+        final_amp = yield from session.read_sensor("phi_max")
+        status = yield from session.app_status()
+        print(f"\nat step {status['step']}: constraint growth halted at "
+              f"{final_c:.2e}, field bounded (|phi|max = {final_amp:.2f})")
+        return intervened, post_readings, final_c, final_amp
+
+    proc = collab.sim.spawn(watch_and_intervene())
+    intervened, post, c_final, amp_final = collab.sim.run(until=proc)
+    assert intervened, "the monitor triggered an intervention"
+    assert evolution.dissipation.value == 0.15
+    # once the dissipation kicked in, the violation stopped growing and
+    # the solution stayed bounded (an undissipated run blows up — see
+    # tests/apps/test_science_apps.py)
+    assert c_final < 1.2 * post[0]
+    assert amp_final < 10.0
+    print("intervention verified: dissipation is now "
+          f"{evolution.dissipation.value}, run health stabilized")
+
+
+if __name__ == "__main__":
+    main()

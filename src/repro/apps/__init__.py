@@ -1,0 +1,30 @@
+"""Demonstration scientific applications (the paper's §6.1 workloads).
+
+DISCOVER "is being used to provide interaction capabilities to a number of
+scientific and engineering applications, including oil reservoir
+simulations, computational fluid dynamics, seismic modeling, and numerical
+relativity."  Each module here is a small NumPy implementation of one of
+those codes, instrumented with the :mod:`repro.steering` control network:
+
+- :class:`OilReservoirApp` — 1-D Buckley–Leverett waterflood (IPARS-like).
+- :class:`Heat2DApp` — 2-D heat/advection-diffusion CFD kernel.
+- :class:`SeismicApp` — 1-D acoustic wave propagation with shot sources.
+- :class:`RelativityApp` — wave-equation toy with a constraint monitor
+  (the numerical-relativity stand-in).
+- :class:`SyntheticApp` — a configurable no-science application used by the
+  benchmark harness (payload size and compute time are free parameters).
+"""
+
+from repro.apps.heat2d import Heat2DApp
+from repro.apps.relativity import RelativityApp
+from repro.apps.reservoir import OilReservoirApp
+from repro.apps.seismic import SeismicApp
+from repro.apps.synthetic import SyntheticApp
+
+__all__ = [
+    "Heat2DApp",
+    "OilReservoirApp",
+    "RelativityApp",
+    "SeismicApp",
+    "SyntheticApp",
+]

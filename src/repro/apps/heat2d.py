@@ -1,0 +1,81 @@
+"""2-D heat / advection-diffusion kernel — the CFD demo application.
+
+Explicit FTCS diffusion with optional uniform advection on a square grid, a
+maintained hot spot, and steering hooks for diffusivity, advection velocity,
+and source strength.  Stability is enforced by clamping the effective CFL
+number, so steering cannot blow the solver up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.steering import (
+    Actuator,
+    Sensor,
+    SteerableApplication,
+    SteerableParameter,
+)
+
+
+class Heat2DApp(SteerableApplication):
+    """2-D advection-diffusion on an ``n`` × ``n`` grid."""
+
+    def __init__(self, host, name, server_host, *, n: int = 64,
+                 **kwargs) -> None:
+        self.n = n
+        self.field = np.zeros((n, n))
+        self.source_pos = (n // 2, n // 2)
+        super().__init__(host, name, server_host, **kwargs)
+
+    def setup(self) -> None:
+        self.diffusivity = self.control.add_parameter(SteerableParameter(
+            "diffusivity", 0.2, minimum=0.0, maximum=0.25,
+            description="dimensionless diffusion number (<=0.25 stable)"))
+        self.velocity_x = self.control.add_parameter(SteerableParameter(
+            "velocity_x", 0.0, minimum=-0.4, maximum=0.4,
+            description="advection CFL in x"))
+        self.source_strength = self.control.add_parameter(SteerableParameter(
+            "source_strength", 1.0, minimum=0.0, maximum=10.0,
+            description="hot-spot injection per step"))
+        self.control.add_parameter(SteerableParameter(
+            "n", self.n, read_only=True, description="grid size"))
+        self.control.add_sensor(Sensor(
+            "max_temperature", lambda: float(self.field.max()),
+            monitored=True))
+        self.control.add_sensor(Sensor(
+            "total_energy", lambda: float(self.field.sum()), monitored=True))
+        self.control.add_sensor(Sensor(
+            "center_temperature",
+            lambda: float(self.field[self.source_pos]), monitored=True))
+        self.control.add_sensor(Sensor(
+            "field", lambda: self.field.copy(),
+            description="full temperature field"))
+        self.control.add_actuator(Actuator(
+            "move_source", self._move_source,
+            description="relocate the hot spot"))
+        self.control.add_actuator(Actuator(
+            "quench", self._quench, description="zero the field"))
+
+    def step(self, index: int) -> None:
+        f = self.field
+        d = self.diffusivity.value
+        lap = (np.roll(f, 1, 0) + np.roll(f, -1, 0)
+               + np.roll(f, 1, 1) + np.roll(f, -1, 1) - 4.0 * f)
+        vx = self.velocity_x.value
+        adv = -vx * (f - np.roll(f, 1, 1))
+        self.field = f + d * lap + adv
+        self.field[self.source_pos] += self.source_strength.value
+        # radiative loss keeps energy bounded
+        self.field *= 0.999
+
+    def _move_source(self, i: int, j: int) -> dict:
+        if not (0 <= i < self.n and 0 <= j < self.n):
+            raise ValueError(f"source ({i},{j}) outside {self.n}x{self.n}")
+        self.source_pos = (int(i), int(j))
+        return {"source": [int(i), int(j)]}
+
+    def _quench(self) -> dict:
+        energy = float(self.field.sum())
+        self.field[:] = 0.0
+        return {"energy_removed": energy}

@@ -1,0 +1,93 @@
+"""Numerical-relativity stand-in: first-order wave system + constraint.
+
+Real numerical-relativity codes (the Cactus workloads DISCOVER steered)
+evolve hyperbolic systems and watch *constraint violations* to judge run
+health, steering resolution/dissipation interactively.  This toy does the
+same dance on the 1-D wave equation in first-order form (Π = ∂t φ,
+Φ = ∂x φ) whose constraint C = Φ - ∂x φ should stay near zero; steerable
+Kreiss–Oliger-style dissipation keeps it down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.steering import (
+    Actuator,
+    Sensor,
+    SteerableApplication,
+    SteerableParameter,
+)
+
+
+class RelativityApp(SteerableApplication):
+    """First-order wave evolution with a monitored constraint."""
+
+    def __init__(self, host, name, server_host, *, points: int = 256,
+                 **kwargs) -> None:
+        self.points = points
+        x = np.linspace(-1.0, 1.0, points)
+        self.phi = np.exp(-50.0 * x ** 2)  # gaussian pulse
+        self.pi = np.zeros(points)
+        self.chi = np.gradient(self.phi, x)
+        self.x = x
+        self.dx = x[1] - x[0]
+        super().__init__(host, name, server_host, **kwargs)
+
+    def setup(self) -> None:
+        self.courant = self.control.add_parameter(SteerableParameter(
+            "courant", 0.25, minimum=0.01, maximum=0.5,
+            description="timestep as a fraction of dx"))
+        self.dissipation = self.control.add_parameter(SteerableParameter(
+            "dissipation", 0.01, minimum=0.0, maximum=0.2,
+            description="Kreiss-Oliger dissipation strength"))
+        self.control.add_parameter(SteerableParameter(
+            "points", self.points, read_only=True))
+        self.control.add_sensor(Sensor(
+            "constraint_norm", self._constraint_norm, monitored=True,
+            description="L2 norm of C = chi - d(phi)/dx"))
+        self.control.add_sensor(Sensor(
+            "field_energy", self._energy, monitored=True))
+        self.control.add_sensor(Sensor(
+            "phi_max", lambda: float(np.abs(self.phi).max()),
+            monitored=True))
+        self.control.add_sensor(Sensor(
+            "phi", lambda: self.phi.copy(), description="full field"))
+        self.control.add_actuator(Actuator(
+            "perturb", self._perturb,
+            description="add a gaussian perturbation"))
+
+    def _deriv(self, f: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(f)
+        out[1:-1] = (f[2:] - f[:-2]) / (2.0 * self.dx)
+        return out
+
+    def step(self, index: int) -> None:
+        dt = self.courant.value * self.dx
+        eps = self.dissipation.value
+        dphi = self.pi
+        dpi = self._deriv(self.chi)
+        dchi = self._deriv(self.pi)
+        self.phi = self.phi + dt * dphi
+        self.pi = self.pi + dt * dpi
+        self.chi = self.chi + dt * dchi
+        if eps > 0:
+            for f in (self.pi, self.chi):
+                f[1:-1] += eps * (f[2:] - 2.0 * f[1:-1] + f[:-2])
+        # reflective boundaries
+        for f in (self.phi, self.pi, self.chi):
+            f[0] = 0.0
+            f[-1] = 0.0
+
+    def _constraint_norm(self) -> float:
+        c = self.chi - self._deriv(self.phi)
+        return float(np.sqrt(np.mean(c[1:-1] ** 2)))
+
+    def _energy(self) -> float:
+        return float(0.5 * np.mean(self.pi ** 2 + self.chi ** 2))
+
+    def _perturb(self, center: float = 0.0, amplitude: float = 0.1,
+                 width: float = 0.05) -> dict:
+        self.phi += amplitude * np.exp(-((self.x - center) / width) ** 2)
+        self.chi = np.gradient(self.phi, self.x)
+        return {"amplitude": amplitude, "center": center}

@@ -1,0 +1,80 @@
+"""1-D acoustic wave propagation — the seismic-modeling demo application.
+
+Second-order finite-difference acoustic wave equation in a layered medium;
+"shots" (sources) are fired by an actuator, and geophone sensors report the
+wavefield at receiver positions — the interactive workflow of a seismic
+modeling code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.steering import (
+    Actuator,
+    Sensor,
+    SteerableApplication,
+    SteerableParameter,
+)
+
+
+class SeismicApp(SteerableApplication):
+    """1-D acoustic wave equation with steerable velocity model."""
+
+    def __init__(self, host, name, server_host, *, cells: int = 400,
+                 **kwargs) -> None:
+        self.cells = cells
+        self.u_prev = np.zeros(cells)
+        self.u = np.zeros(cells)
+        #: two-layer velocity model (units of grid CFL)
+        self.velocity = np.full(cells, 0.4)
+        self.velocity[cells // 2:] = 0.6
+        self.receivers = [cells // 4, cells // 2, 3 * cells // 4]
+        self.shot_count = 0
+        super().__init__(host, name, server_host, **kwargs)
+
+    def setup(self) -> None:
+        self.layer_velocity = self.control.add_parameter(SteerableParameter(
+            "layer2_velocity", 0.6, minimum=0.1, maximum=0.9,
+            description="velocity of the deeper layer (CFL units)",
+            on_change=self._retune_velocity))
+        self.damping = self.control.add_parameter(SteerableParameter(
+            "damping", 0.001, minimum=0.0, maximum=0.05,
+            description="attenuation per step"))
+        self.control.add_parameter(SteerableParameter(
+            "cells", self.cells, read_only=True))
+        self.control.add_sensor(Sensor(
+            "geophone_mid", lambda: float(self.u[self.receivers[1]]),
+            monitored=True, description="wavefield at the middle receiver"))
+        self.control.add_sensor(Sensor(
+            "rms_amplitude",
+            lambda: float(np.sqrt(np.mean(self.u ** 2))), monitored=True))
+        self.control.add_sensor(Sensor(
+            "shots_fired", lambda: self.shot_count, monitored=True))
+        self.control.add_sensor(Sensor(
+            "wavefield", lambda: self.u.copy(),
+            description="full wavefield snapshot"))
+        self.control.add_actuator(Actuator(
+            "fire_shot", self._fire_shot,
+            description="inject a Ricker-like source at a position"))
+
+    def _retune_velocity(self, value: float) -> None:
+        self.velocity[self.cells // 2:] = value
+
+    def step(self, index: int) -> None:
+        c2 = self.velocity ** 2
+        lap = np.zeros_like(self.u)
+        lap[1:-1] = self.u[2:] - 2.0 * self.u[1:-1] + self.u[:-2]
+        u_next = (2.0 * self.u - self.u_prev + c2 * lap)
+        u_next *= (1.0 - self.damping.value)
+        # rigid boundaries
+        u_next[0] = 0.0
+        u_next[-1] = 0.0
+        self.u_prev, self.u = self.u, u_next
+
+    def _fire_shot(self, position: int = 10, amplitude: float = 1.0) -> dict:
+        if not 0 <= position < self.cells:
+            raise ValueError(f"shot position {position} out of range")
+        self.u[position] += amplitude
+        self.shot_count += 1
+        return {"shots": self.shot_count, "position": int(position)}

@@ -1,0 +1,38 @@
+"""Benchmark harness: workloads, scenario runners, and reporting.
+
+Each experiment in ``benchmarks/`` (see the per-experiment index in
+DESIGN.md) builds on these pieces:
+
+- :mod:`repro.bench.workload` — scripted client behaviours (polling
+  monitors, steering engineers) and application farms.
+- :mod:`repro.bench.scenarios` — end-to-end scenario runners that assemble
+  a deployment, drive a workload for a stretch of virtual time, and return
+  the measured table row.
+- :mod:`repro.bench.report` — table formatting shared by every benchmark's
+  printed output.
+"""
+
+from repro.bench.report import format_table, print_experiment
+from repro.bench.scenarios import (
+    run_app_scalability,
+    run_client_scalability,
+    run_collab_scenario,
+    run_remote_vs_local,
+)
+from repro.bench.workload import (
+    make_app_farm,
+    polling_client,
+    steering_client,
+)
+
+__all__ = [
+    "format_table",
+    "make_app_farm",
+    "polling_client",
+    "print_experiment",
+    "run_app_scalability",
+    "run_client_scalability",
+    "run_collab_scenario",
+    "run_remote_vs_local",
+    "steering_client",
+]

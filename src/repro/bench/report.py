@@ -1,0 +1,50 @@
+"""Table formatting for benchmark output.
+
+Every benchmark prints its regenerated paper table through these helpers so
+``pytest benchmarks/ --benchmark-only -s`` reads like the evaluation
+section, and EXPERIMENTS.md can quote the rows directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str],
+                 title: str = "") -> str:
+    """Render dict-rows as a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                text = f"{value:.2f}"
+            else:
+                text = str(value)
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule] if title else [header, rule]
+    for cells in rendered:
+        lines.append("  ".join(cell.rjust(widths[c])
+                               for cell, c in zip(cells, columns)))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def print_experiment(exp_id: str, claim: str, rows: Sequence[Dict],
+                     columns: Sequence[str], finding: str = "") -> None:
+    """Print one experiment block: id, the paper's claim, rows, finding."""
+    print()
+    print(f"=== {exp_id} ===")
+    print(f"paper: {claim}")
+    print(format_table(rows, columns))
+    if finding:
+        print(f"measured: {finding}")
+    print()

@@ -1,0 +1,189 @@
+"""End-to-end scenario runners — one per experiment family.
+
+Every runner assembles a fresh deployment, drives a workload for a stretch
+of *virtual* time, and returns a plain dict of measured quantities (one
+table row).  Wall-clock cost is what pytest-benchmark reports; the science
+is in the returned rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bench.workload import (
+    bench_app_config,
+    make_app_farm,
+    polling_client,
+    steering_client,
+    update_watching_client,
+)
+from repro.core.deployment import build_collaboratory, build_single_server
+from repro.metrics import LatencyRecorder
+from repro.net.costs import CostModel, LinkSpec
+
+
+def run_app_scalability(n_apps: int, *, duration: float = 30.0,
+                        update_period: float = 0.5,
+                        cost_model: Optional[CostModel] = None) -> dict:
+    """E1: one server, ``n_apps`` applications pushing updates.
+
+    Returns the server-side update-processing lag; the knee past which the
+    mean lag grows with offered load marks the capacity the paper reports
+    as ">40 simultaneous applications".
+    """
+    collab = build_single_server(app_hosts=max(4, n_apps // 4),
+                                 cost_model=cost_model)
+    collab.run_bootstrap()
+    server = collab.server_of(0)
+    recorder = LatencyRecorder(collab.sim)
+    server.recorder = recorder
+    make_app_farm(collab, n_apps, update_period=update_period)
+    collab.sim.run(until=collab.sim.now + duration)
+    stats = recorder.stats("update_lag")
+    offered = n_apps / update_period
+    return {
+        "n_apps": n_apps,
+        "offered_updates_per_s": offered,
+        "mean_lag_ms": stats.mean * 1e3,
+        "p90_lag_ms": stats.p90 * 1e3,
+        "max_lag_ms": stats.maximum * 1e3,
+        "updates_processed": stats.count,
+        "throughput_per_s": stats.count / duration,
+        # saturated = the server can no longer keep update lag below one
+        # update period (work arrives faster than it drains)
+        "saturated": stats.mean > update_period,
+    }
+
+
+def run_client_scalability(n_clients: int, *, duration: float = 30.0,
+                           poll_interval: float = 0.25,
+                           cost_model: Optional[CostModel] = None,
+                           server_cpus: int = 1) -> dict:
+    """E2: one server, one application, ``n_clients`` polling clients.
+
+    Returns client-visible poll round-trip stats; degradation past ~20
+    clients reproduces §6.1's client limit.  ``server_cpus`` supports the
+    vertical-scaling ablation A6.
+    """
+    collab = build_single_server(client_hosts=max(4, n_clients // 4),
+                                 cost_model=cost_model,
+                                 server_cpus=server_cpus)
+    collab.run_bootstrap()
+    apps = make_app_farm(collab, 1, user="bench")
+    collab.sim.run(until=collab.sim.now + 2.0)  # app registers
+    app_id = apps[0].app_id
+    recorder = LatencyRecorder(collab.sim)
+    for _ in range(n_clients):
+        portal = collab.add_portal(0)
+        collab.sim.spawn(polling_client(
+            portal, app_id, user="bench", duration=duration,
+            poll_interval=poll_interval, recorder=recorder, warmup=2.0))
+    collab.sim.run(until=collab.sim.now + duration + 1.0)
+    stats = recorder.stats("poll_rtt")
+    return {
+        "n_clients": n_clients,
+        "server_cpus": server_cpus,
+        "mean_rtt_ms": stats.mean * 1e3,
+        "p90_rtt_ms": stats.p90 * 1e3,
+        "p99_rtt_ms": stats.p99 * 1e3,
+        "polls": stats.count,
+    }
+
+
+def run_collab_scenario(*, mode: str, n_domains: int = 3,
+                        clients_per_domain: int = 4,
+                        duration: float = 20.0,
+                        wan_latency: float = 0.030,
+                        poll_interval: float = 0.25,
+                        update_period: float = 0.5,
+                        payload_floats: int = 64) -> dict:
+    """E4/E5: a collaboration group spanning domains — P2P vs centralized.
+
+    ``mode="p2p"``: each client polls its *local* server; updates cross the
+    WAN once per remote server.  ``mode="central"``: every client polls the
+    application's home server directly over the WAN (the pre-middleware
+    deployment), so each update crosses the WAN once per remote client.
+    Returns WAN traffic totals and client update latency.
+    """
+    if mode not in ("p2p", "central"):
+        raise ValueError(f"unknown mode {mode!r}")
+    spec = LinkSpec(wan_latency=wan_latency)
+    collab = build_collaboratory(
+        n_domains, apps_hosts_per_domain=1,
+        client_hosts_per_domain=clients_per_domain, spec=spec)
+    collab.run_bootstrap()
+    apps = make_app_farm(collab, 1, domain_index=0, user="bench",
+                         update_period=update_period,
+                         payload_floats=payload_floats)
+    collab.sim.run(until=collab.sim.now + 2.0)
+    app_id = apps[0].app_id
+    home_server = collab.domains[0].server.name
+
+    recorder = LatencyRecorder(collab.sim)
+    from repro.client import DiscoverPortal
+    for d in range(n_domains):
+        for c in range(clients_per_domain):
+            host = collab.domains[d].client_hosts[
+                c % len(collab.domains[d].client_hosts)]
+            target = (home_server if mode == "central"
+                      else collab.domains[d].server.name)
+            portal = DiscoverPortal(host, target)
+            collab.portals.append(portal)
+            collab.sim.spawn(update_watching_client(
+                portal, app_id, user="bench", duration=duration,
+                poll_interval=poll_interval, recorder=recorder))
+    collab.net.trace.reset()
+    collab.sim.run(until=collab.sim.now + duration + 1.0)
+    stats = recorder.stats("update_latency")
+    trace = collab.net.trace
+    return {
+        "mode": mode,
+        "n_domains": n_domains,
+        "clients": n_domains * clients_per_domain,
+        "wan_latency_ms": wan_latency * 1e3,
+        "wan_messages": trace.wan_messages,
+        "wan_bytes": trace.wan_bytes,
+        "lan_messages": trace.lan_messages,
+        "mean_update_latency_ms": stats.mean * 1e3,
+        "p90_update_latency_ms": stats.p90 * 1e3,
+        "updates_seen": stats.count,
+    }
+
+
+def run_remote_vs_local(*, remote: bool, duration: float = 20.0,
+                        command_interval: float = 0.5,
+                        wan_latency: float = 0.030) -> dict:
+    """E6: steer an application homed locally vs one CORBA hop away."""
+    spec = LinkSpec(wan_latency=wan_latency)
+    collab = build_collaboratory(2, apps_hosts_per_domain=1,
+                                 client_hosts_per_domain=1, spec=spec)
+    collab.run_bootstrap()
+    # An interaction-dominant application, so command latency measures the
+    # middleware path (HTTP + server + optional CORBA relay) rather than
+    # compute-phase buffering.
+    from repro.apps import SyntheticApp
+    from repro.steering import AppConfig
+    app = collab.add_app(
+        1, SyntheticApp, "steer-target", acl={"bench": "write"},
+        config=AppConfig(steps_per_phase=1, step_time=0.005,
+                         interaction_window=0.25,
+                         command_service_time=0.002))
+    collab.sim.run(until=collab.sim.now + 2.0)
+    app_id = app.app_id
+    # local client sits in the app's domain; remote client one WAN hop away
+    portal = collab.add_portal(1 if not remote else 0)
+    recorder = LatencyRecorder(collab.sim)
+    collab.sim.spawn(steering_client(
+        portal, app_id, user="bench", duration=duration,
+        command_interval=command_interval, recorder=recorder,
+        poll_interval=0.02))
+    collab.sim.run(until=collab.sim.now + duration + 2.0)
+    stats = recorder.stats("steer_rtt")
+    return {
+        "placement": "remote" if remote else "local",
+        "wan_latency_ms": wan_latency * 1e3,
+        "mean_steer_rtt_ms": stats.mean * 1e3,
+        "p90_steer_rtt_ms": stats.p90 * 1e3,
+        "commands": stats.count,
+        "throughput_per_s": stats.count / duration,
+    }

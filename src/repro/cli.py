@@ -1,0 +1,166 @@
+"""Command-line interface: quick demos and experiment runs.
+
+::
+
+    python -m repro info                      # version + layer map
+    python -m repro demo                      # end-to-end steering demo
+    python -m repro experiments               # list runnable experiments
+    python -m repro run E2 [--quick]          # regenerate one table
+
+The full experiment suite (every table, with shape assertions) lives in
+``benchmarks/`` and runs under ``pytest benchmarks/ --benchmark-only -s``;
+this CLI exposes the core sweeps for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Tuple
+
+from repro.bench.report import format_table
+from repro.bench.scenarios import (
+    run_app_scalability,
+    run_client_scalability,
+    run_collab_scenario,
+    run_remote_vs_local,
+)
+
+
+def _exp_e1(quick: bool) -> Tuple[List[dict], List[str]]:
+    sweep = (10, 40, 60) if quick else (10, 20, 30, 40, 50, 60, 70)
+    duration = 10.0 if quick else 20.0
+    rows = [run_app_scalability(n, duration=duration) for n in sweep]
+    return rows, ["n_apps", "mean_lag_ms", "p90_lag_ms",
+                  "throughput_per_s", "saturated"]
+
+
+def _exp_e2(quick: bool) -> Tuple[List[dict], List[str]]:
+    sweep = (5, 20, 30) if quick else (5, 10, 15, 20, 25, 30, 40)
+    duration = 10.0 if quick else 20.0
+    rows = [run_client_scalability(n, duration=duration) for n in sweep]
+    return rows, ["n_clients", "mean_rtt_ms", "p90_rtt_ms", "polls"]
+
+
+def _exp_e4(quick: bool) -> Tuple[List[dict], List[str]]:
+    duration = 10.0 if quick else 20.0
+    rows = [run_collab_scenario(mode=m, duration=duration,
+                                wan_latency=0.060)
+            for m in ("central", "p2p")]
+    return rows, ["mode", "clients", "wan_messages", "wan_bytes",
+                  "mean_update_latency_ms"]
+
+
+def _exp_e5(quick: bool) -> Tuple[List[dict], List[str]]:
+    duration = 10.0 if quick else 20.0
+    lats = (0.020, 0.120) if quick else (0.020, 0.060, 0.120)
+    rows = [run_collab_scenario(mode=m, duration=duration, wan_latency=w)
+            for w in lats for m in ("central", "p2p")]
+    return rows, ["mode", "wan_latency_ms", "mean_update_latency_ms",
+                  "p90_update_latency_ms"]
+
+
+def _exp_e6(quick: bool) -> Tuple[List[dict], List[str]]:
+    duration = 10.0 if quick else 20.0
+    rows = [run_remote_vs_local(remote=r, duration=duration)
+            for r in (False, True)]
+    return rows, ["placement", "mean_steer_rtt_ms", "p90_steer_rtt_ms",
+                  "throughput_per_s"]
+
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
+    "E1": ("applications per server (>40 supported)", _exp_e1),
+    "E2": ("HTTP clients per server (~20, then degradation)", _exp_e2),
+    "E4": ("WAN collaboration traffic, central vs P2P", _exp_e4),
+    "E5": ("client update latency vs WAN distance", _exp_e5),
+    "E6": ("steering latency, local vs remote application", _exp_e6),
+}
+
+
+def cmd_info(_args) -> int:
+    import repro
+    print(f"repro {repro.__version__} — DISCOVER collaboratory middleware "
+          f"(Mann & Parashar, HPDC 2001)")
+    print(__doc__)
+    return 0
+
+
+def cmd_experiments(_args) -> int:
+    print("runnable experiments (see benchmarks/ for the full suite):")
+    for exp_id, (claim, _fn) in EXPERIMENTS.items():
+        print(f"  {exp_id}: {claim}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    exp_id = args.experiment.upper()
+    entry = EXPERIMENTS.get(exp_id)
+    if entry is None:
+        print(f"unknown experiment {exp_id!r}; try `experiments`",
+              file=sys.stderr)
+        return 2
+    claim, fn = entry
+    rows, columns = fn(args.quick)
+    print(format_table(rows, columns, title=f"{exp_id}: {claim}"))
+    return 0
+
+
+def cmd_demo(_args) -> int:
+    """A compressed version of examples/quickstart.py."""
+    from repro import AppConfig, build_single_server
+    from repro.apps import SyntheticApp
+
+    collab = build_single_server()
+    collab.run_bootstrap()
+    app = collab.add_app(
+        0, SyntheticApp, "demo-sim", acl={"alice": "write"},
+        config=AppConfig(steps_per_phase=5, step_time=0.02,
+                         interaction_window=0.05))
+    collab.sim.run(until=2.0)
+    print(f"application registered: {app.app_id}")
+    portal = collab.add_portal(0)
+
+    def scenario():
+        apps = yield from portal.login("alice")
+        print(f"alice sees: {[a['name'] for a in apps]}")
+        session = yield from portal.open(app.app_id)
+        print(f"lock: {(yield from session.acquire_lock())}")
+        value = yield from session.set_param("gain", 2.5)
+        print(f"steered gain -> {value}")
+        yield portal.sim.timeout(1.0)
+        yield from portal.poll(max_items=64)
+        print(f"updates received by polling: {len(portal.updates)}")
+
+    collab.sim.run(until=collab.sim.spawn(scenario()))
+    print(f"virtual time elapsed: {collab.sim.now:.2f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DISCOVER middleware reproduction")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("info", help="version and layer map")
+    sub.add_parser("demo", help="run the end-to-end steering demo")
+    sub.add_parser("experiments", help="list runnable experiments")
+    run_p = sub.add_parser("run", help="run one experiment sweep")
+    run_p.add_argument("experiment", help="experiment id (e.g. E1)")
+    run_p.add_argument("--quick", action="store_true",
+                       help="smaller sweep, shorter virtual duration")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "demo": cmd_demo,
+        "experiments": cmd_experiments,
+        "run": cmd_run,
+        None: cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

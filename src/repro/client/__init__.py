@@ -1,0 +1,12 @@
+"""Client-side portal API — the paper's web-based thin client.
+
+:class:`DiscoverPortal` wraps the HTTP conversation with a DISCOVER server
+(login, application listing/selection) and :class:`AppSession` wraps one
+application's steering session (commands, locks, polling, collaboration,
+replay).  Received messages are dispatched on their class name exactly like
+the paper's portal did with Java reflection (§4.1).
+"""
+
+from repro.client.portal import AppSession, DiscoverPortal, PortalError
+
+__all__ = ["AppSession", "DiscoverPortal", "PortalError"]

@@ -1,0 +1,104 @@
+"""Session archival: the two logs of §5.2.5.
+
+"The session archival handler maintains two types of logs.  The first one
+logs all interactions between a client(s) and an application.  This log
+enables clients to replay their interactions with the applications.  It
+also enables latecomers to a collaboration group to get up to speed.  The
+second log maintains all requests, responses, and status messages for each
+application."
+
+Client-interaction records are owned by the requesting user; application
+records are owned by the application's owner with the app's ACL users as
+readers (§6.3's ownership rules) — both stored through
+:class:`~repro.core.database.Database`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.core.database import Database, Record
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Simulator
+
+INTERACTION_TABLE = "interactions"
+APP_LOG_TABLE = "app_log"
+
+
+class SessionArchive:
+    """The archival handler of one server."""
+
+    def __init__(self, sim: "Simulator", db: Optional[Database] = None) -> None:
+        self.sim = sim
+        self.db = db or Database()
+
+    # -- appends ------------------------------------------------------------
+    def log_interaction(self, app_id: str, user: str, kind: str,
+                        detail: dict,
+                        readers: Optional[Iterable[str]] = None) -> Record:
+        """Record one client↔application interaction (command or response).
+
+        ``readers`` lets collaborative sessions share their replay history
+        with the rest of the group.
+        """
+        return self.db.table(INTERACTION_TABLE).insert(
+            owner=user,
+            data={"app_id": app_id, "kind": kind, **detail},
+            created_at=self.sim.now,
+            readers=readers,
+        )
+
+    def log_app_record(self, app_id: str, owner: str, kind: str,
+                       detail: dict,
+                       readers: Optional[Iterable[str]] = None) -> Record:
+        """Record one application-side event (update / status / response)."""
+        return self.db.table(APP_LOG_TABLE).insert(
+            owner=owner,
+            data={"app_id": app_id, "kind": kind, **detail},
+            created_at=self.sim.now,
+            readers=readers,
+        )
+
+    # -- replay ------------------------------------------------------------
+    def replay_interactions(self, app_id: str, user: str,
+                            since: float = 0.0,
+                            limit: Optional[int] = None) -> List[dict]:
+        """A user's readable interaction history with one application."""
+        records = self.db.table(INTERACTION_TABLE).select(
+            user,
+            predicate=lambda r: (r.data["app_id"] == app_id
+                                 and r.created_at >= since),
+            limit=limit,
+        )
+        return [self._export(r) for r in records]
+
+    def replay_app_log(self, app_id: str, user: str,
+                       since: float = 0.0,
+                       limit: Optional[int] = None) -> List[dict]:
+        """The application's full history readable by ``user``."""
+        records = self.db.table(APP_LOG_TABLE).select(
+            user,
+            predicate=lambda r: (r.data["app_id"] == app_id
+                                 and r.created_at >= since),
+            limit=limit,
+        )
+        return [self._export(r) for r in records]
+
+    def latecomer_catchup(self, app_id: str, user: str, n: int = 20) -> List[dict]:
+        """The most recent ``n`` interaction records for a late joiner."""
+        records = self.db.table(INTERACTION_TABLE).tail(
+            user, n, predicate=lambda r: r.data["app_id"] == app_id)
+        return [self._export(r) for r in records]
+
+    def interaction_count(self, app_id: Optional[str] = None) -> int:
+        """How many interactions are archived (optionally for one app)."""
+        tbl = self.db.table(INTERACTION_TABLE)
+        if app_id is None:
+            return len(tbl)
+        return sum(1 for r in tbl._records if r.data["app_id"] == app_id)
+
+    @staticmethod
+    def _export(record: Record) -> dict:
+        return {"record_id": record.record_id, "owner": record.owner,
+                "at": record.created_at, **record.data}

@@ -1,0 +1,130 @@
+"""The daemon: bridge between a server and its local applications.
+
+§4.1: "The Daemon servlet forms the bridge between the server and the
+applications.  Each application is authenticated at the server using a
+pre-assigned unique identifier.  The daemon servlet creates an Application
+Proxy for each new application that connects to it ... It also assigns the
+application a unique session identifier."
+
+§5.2.1 fixes the identifier scheme: "The application identifier is chosen
+to be a combination of the server's IP address and a local count of the
+applications on each server ... the server's IP address can be extracted
+from this application identifier, making it very easy to determine if the
+application is a local application or a remote application."  We use
+``<server-name>#a<count>`` and :func:`home_server_of` extracts the server.
+
+The daemon listens on the custom TCP channel (cheap per-message cost —
+the reason one server supports >40 applications but only ~20 HTTP clients).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.proxy import ApplicationProxy
+from repro.steering.application import DAEMON_PORT
+from repro.wire import (
+    AckMessage,
+    CommandMessage,
+    ControlMessage,
+    ErrorMessage,
+    Message,
+    RegisterMessage,
+    ResponseMessage,
+    UpdateMessage,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.server import DiscoverServer
+
+
+def home_server_of(app_id: str) -> str:
+    """Extract the home server name from an application identifier."""
+    return app_id.split("#", 1)[0]
+
+
+class DaemonService:
+    """Listens for application connections on the daemon port."""
+
+    def __init__(self, server: "DiscoverServer",
+                 port: int = DAEMON_PORT) -> None:
+        self.server = server
+        self.sim = server.sim
+        self.port = port
+        self.endpoint = server.host.bind(port)
+        self._app_seq = itertools.count(1)
+        self._proc = self.sim.spawn(self._listen(),
+                                    name=f"daemon@{server.name}")
+        self.messages_handled = 0
+
+    def stop(self) -> None:
+        if self._proc.is_alive:
+            self._proc.interrupt("daemon stop")
+        self.endpoint.close()
+
+    def next_app_id(self) -> str:
+        """Server name + local application count (§5.2.1)."""
+        return f"{self.server.name}#a{next(self._app_seq)}"
+
+    def forward_command(self, app_host: str, app_port: int,
+                        cmd: CommandMessage) -> None:
+        """Send a command to the application over its channel."""
+        self.endpoint.send(app_host, app_port, cmd, channel="command")
+
+    # -- listener -------------------------------------------------------------
+    def _listen(self):
+        from repro.sim import Interrupt
+        costs = self.server.costs
+        try:
+            while True:
+                frame = yield self.endpoint.recv()
+                msg = frame.payload
+                if not isinstance(msg, Message):
+                    continue
+                # custom-TCP-channel service cost on the server CPU
+                yield from self.server.host.use_cpu(costs.tcp_cost(frame.size))
+                self.messages_handled += 1
+                self._dispatch(frame, msg)
+        except Interrupt:
+            return
+
+    def _dispatch(self, frame, msg: Message) -> None:
+        if isinstance(msg, RegisterMessage):
+            self._on_register(frame, msg)
+        elif isinstance(msg, UpdateMessage):
+            self.server.on_app_update(msg)
+        elif isinstance(msg, (ResponseMessage, ErrorMessage)):
+            self.server.on_app_response(msg)
+        elif isinstance(msg, ControlMessage):
+            if msg.event == "phase":
+                self.server.on_app_phase(msg.app_id, msg.detail)
+            elif msg.event == "deregister":
+                self.server.on_app_deregister(msg.app_id)
+
+    def _on_register(self, frame, msg: RegisterMessage) -> None:
+        if not self.server.security.authenticate_application(
+                msg.app_name, msg.auth_token):
+            self.endpoint.send(frame.src_host, frame.src_port,
+                               AckMessage(msg.msg_id, ok=False,
+                                          info="authentication failed"),
+                               channel="response")
+            return
+        app_id = self.next_app_id()
+        proxy = ApplicationProxy(
+            app_id, msg.app_name, msg.interface, msg.acl,
+            app_host=frame.src_host, app_port=frame.src_port,
+            owner=self._owner_from_acl(msg.acl),
+            forward=self.forward_command)
+        self.server.on_app_register(proxy)
+        self.endpoint.send(frame.src_host, frame.src_port,
+                           AckMessage(msg.msg_id, ok=True, info=app_id),
+                           channel="response")
+
+    @staticmethod
+    def _owner_from_acl(acl: dict) -> str:
+        """The application's owning user: first write-privileged entry."""
+        for user, priv in acl.items():
+            if priv == "write":
+                return user
+        return next(iter(acl), "system")

@@ -1,0 +1,98 @@
+"""A miniature record store — the reproduction's "Relational Database".
+
+§6.3: "The current implementation of DISCOVER avoids these issues by using
+Relational Databases to store all the data generated in the form of
+records ... the local server creates the output files or the records under
+the ownership of the user who requested that data", while periodic
+application data is owned by the application's owner and readable by every
+user on the application's ACL.
+
+We keep exactly that model: named tables of append-only records with an
+``owner`` and a ``readers`` set enforced on query.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+
+class DatabaseError(Exception):
+    """Unknown table, or a read denied by record ownership."""
+
+
+_record_seq = itertools.count(1)
+
+
+@dataclass
+class Record:
+    """One stored row."""
+
+    record_id: int
+    owner: str
+    created_at: float
+    data: dict
+    readers: Set[str] = field(default_factory=set)
+
+    def readable_by(self, user: str) -> bool:
+        """Owners always read their records; others need reader rights."""
+        return user == self.owner or user in self.readers or "*" in self.readers
+
+
+class Table:
+    """An append-only table of records."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._records: List[Record] = []
+
+    def insert(self, owner: str, data: dict, created_at: float,
+               readers: Optional[Iterable[str]] = None) -> Record:
+        rec = Record(next(_record_seq), owner, created_at, dict(data),
+                     set(readers or ()))
+        self._records.append(rec)
+        return rec
+
+    def select(self, user: str,
+               predicate: Optional[Callable[[Record], bool]] = None,
+               limit: Optional[int] = None) -> List[Record]:
+        """Records readable by ``user`` matching ``predicate`` (in order)."""
+        out = []
+        for rec in self._records:
+            if not rec.readable_by(user):
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def tail(self, user: str, n: int,
+             predicate: Optional[Callable[[Record], bool]] = None) -> List[Record]:
+        """The last ``n`` readable records matching ``predicate``."""
+        out = [r for r in self._records
+               if r.readable_by(user)
+               and (predicate is None or predicate(r))]
+        return out[-n:]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class Database:
+    """Named tables for one server."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def table(self, name: str) -> Table:
+        """Get (creating on first use) a table."""
+        tbl = self._tables.get(name)
+        if tbl is None:
+            tbl = self._tables[name] = Table(name)
+        return tbl
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)

@@ -1,0 +1,175 @@
+"""Scenario assembly: whole collaboratory networks in a few calls.
+
+Reproduces the paper's deployment shape (§6.1): one or more collaboratory
+domains (Rutgers / UT-Austin / Caltech), each a campus LAN with a DISCOVER
+server, application hosts, and client hosts; servers meshed by WAN links; a
+registry host running the naming + trader services the servers bootstrap
+through (§5.2.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.client import DiscoverPortal
+from repro.core.server import DiscoverServer
+from repro.net import Network, build_multi_domain
+from repro.net.costs import CostModel, LinkSpec
+from repro.net.topology import Domain
+from repro.orb import NamingService, Orb, TraderService
+from repro.sim import Simulator
+from repro.steering.application import AppConfig, SteerableApplication
+
+
+class Collaboratory:
+    """A fully wired multi-domain DISCOVER deployment."""
+
+    def __init__(self, sim: Simulator, net: Network, domains: List[Domain],
+                 servers: Dict[str, DiscoverServer], registry_orb: Orb,
+                 naming: NamingService, trader: TraderService) -> None:
+        self.sim = sim
+        self.net = net
+        self.domains = domains
+        self.servers = servers
+        self.registry_orb = registry_orb
+        self.naming = naming
+        self.trader = trader
+        self.apps: List[SteerableApplication] = []
+        self.portals: List[DiscoverPortal] = []
+        #: the optional §6.3 user directory (set by build_collaboratory)
+        self.directory = None
+        #: registry references (set by build_collaboratory)
+        self.naming_ref = None
+        self.trader_ref = None
+        self._app_host_rr = {d.name: itertools.cycle(d.app_hosts or
+                                                     [d.server])
+                             for d in domains}
+        self._client_host_rr = {d.name: itertools.cycle(d.client_hosts or
+                                                        [d.server])
+                                for d in domains}
+
+    # -- population ----------------------------------------------------------
+    def server_of(self, domain_index: int) -> DiscoverServer:
+        return self.servers[self.domains[domain_index].server.name]
+
+    def add_app(self, domain_index: int,
+                factory: Callable[..., SteerableApplication], name: str,
+                acl: Optional[dict] = None,
+                config: Optional[AppConfig] = None,
+                start: bool = True,
+                **kwargs) -> SteerableApplication:
+        """Create an application on the next app host of a domain.
+
+        ``factory`` is a :class:`SteerableApplication` subclass (or any
+        callable with the same signature).
+        """
+        domain = self.domains[domain_index]
+        host = next(self._app_host_rr[domain.name])
+        app = factory(host, name, domain.server.name,
+                      acl=acl or {}, config=config, **kwargs)
+        self.apps.append(app)
+        if start:
+            app.start()
+        return app
+
+    def add_portal(self, domain_index: int) -> DiscoverPortal:
+        """Create a portal on the next client host of a domain."""
+        domain = self.domains[domain_index]
+        host = next(self._client_host_rr[domain.name])
+        portal = DiscoverPortal(host, domain.server.name)
+        self.portals.append(portal)
+        return portal
+
+    # -- bootstrap ------------------------------------------------------------
+    def bootstrap(self):
+        """Generator: publish every server, then mutual peer discovery."""
+        for server in self.servers.values():
+            yield from server.publish()
+        for server in self.servers.values():
+            yield from server.discover_peers()
+
+    def run_bootstrap(self) -> None:
+        """Drive the simulation through :meth:`bootstrap`."""
+        proc = self.sim.spawn(self.bootstrap(), name="bootstrap")
+        self.sim.run(until=proc)
+
+    def stop(self) -> None:
+        """Shut every server down (end of scenario)."""
+        for server in self.servers.values():
+            server.stop()
+
+
+def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
+                        client_hosts_per_domain: int = 4,
+                        names: Optional[List[str]] = None,
+                        spec: Optional[LinkSpec] = None,
+                        cost_model: Optional[CostModel] = None,
+                        server_cpus: int = 1,
+                        client_buffer_capacity: float = float("inf"),
+                        trader_match_cost: float = 0.0008,
+                        use_directory: bool = False,
+                        update_mode: str = "push",
+                        update_poll_interval: float = 0.5,
+                        remote_access: str = "relay",
+                        sim: Optional[Simulator] = None) -> Collaboratory:
+    """Build a ready-to-bootstrap multi-domain collaboratory."""
+    sim = sim or Simulator()
+    spec = spec or LinkSpec()
+    costs = cost_model or CostModel()
+    net, domains = build_multi_domain(
+        sim, n_domains, apps_hosts_per_domain, client_hosts_per_domain,
+        spec=spec, server_cpus=server_cpus, names=names)
+
+    # Registry host (naming + trader) on the first domain's LAN — the
+    # "centralized directory service like the GIS" of §6.3.
+    registry_host = net.add_host("registry", domain=domains[0].name)
+    net.add_link(registry_host.name, domains[0].server.name,
+                 spec.lan_latency, spec.lan_bandwidth, kind="lan")
+    registry_orb = Orb(registry_host, cost_model=costs)
+    naming = NamingService()
+    trader = TraderService(naming, sim=sim, match_cost=trader_match_cost)
+    naming_ref = registry_orb.activate(naming, key=NamingService.OBJECT_KEY)
+    trader_ref = registry_orb.activate(trader, key=TraderService.OBJECT_KEY)
+    directory_ref = None
+    directory = None
+    if use_directory:
+        # §6.3's proposed GIS-style user directory, co-hosted with the
+        # registry: login becomes a single lookup instead of a peer fan-out.
+        from repro.core.directory import UserDirectoryService
+        directory = UserDirectoryService()
+        directory_ref = registry_orb.activate(
+            directory, key=UserDirectoryService.OBJECT_KEY)
+
+    servers: Dict[str, DiscoverServer] = {}
+    for domain in domains:
+        server = DiscoverServer(
+            domain.server, domain=domain.name, cost_model=costs,
+            naming_ref=naming_ref, trader_ref=trader_ref,
+            directory_ref=directory_ref,
+            client_buffer_capacity=client_buffer_capacity,
+            update_mode=update_mode,
+            update_poll_interval=update_poll_interval,
+            remote_access=remote_access)
+        servers[server.name] = server
+
+    collab = Collaboratory(sim, net, domains, servers, registry_orb, naming,
+                           trader)
+    collab.directory = directory
+    collab.naming_ref = naming_ref
+    collab.trader_ref = trader_ref
+    return collab
+
+
+def build_single_server(*, app_hosts: int = 4, client_hosts: int = 4,
+                        cost_model: Optional[CostModel] = None,
+                        server_cpus: int = 1,
+                        spec: Optional[LinkSpec] = None,
+                        client_buffer_capacity: float = float("inf"),
+                        sim: Optional[Simulator] = None) -> Collaboratory:
+    """The single-domain configuration used by experiments E1–E3."""
+    return build_collaboratory(
+        1, apps_hosts_per_domain=app_hosts,
+        client_hosts_per_domain=client_hosts, cost_model=cost_model,
+        server_cpus=server_cpus, spec=spec,
+        client_buffer_capacity=client_buffer_capacity, sim=sim)

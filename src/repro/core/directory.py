@@ -1,0 +1,67 @@
+"""GIS-style central user directory — the paper's §6.3 proposal.
+
+"One way to get around this problem is to have a centralized directory
+service like the GIS that maintains user-IDs and other global information.
+All the servers in the system can now use this directory service."
+
+:class:`UserDirectoryService` is that directory: servers publish each
+application's user list (and summaries) on registration, and login consults
+the directory **once** instead of authenticating against every peer —
+turning E8's O(peers) fan-out into O(1).  Deployed as an ORB servant on the
+registry host, enabled per deployment with ``directory_ref``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+
+class UserDirectoryService:
+    """Network-wide user → accessible-application index."""
+
+    OBJECT_KEY = "UserDirectory"
+
+    def __init__(self) -> None:
+        #: user → {app_id: summary}
+        self._by_user: Dict[str, Dict[str, dict]] = {}
+        #: app_id → set of users (for withdrawal)
+        self._by_app: Dict[str, Set[str]] = {}
+
+    def publish_app(self, app_id: str, server: str, name: str,
+                    acl: Dict[str, str]) -> bool:
+        """A server publishes one application's ACL and location."""
+        self.withdraw_app(app_id)
+        users = set()
+        for user, privilege in acl.items():
+            summary = {"app_id": app_id, "name": name, "server": server,
+                       "privilege": privilege, "active": True,
+                       "phase": "unknown"}
+            self._by_user.setdefault(user, {})[app_id] = summary
+            users.add(user)
+        self._by_app[app_id] = users
+        return True
+
+    def withdraw_app(self, app_id: str) -> bool:
+        """Remove an application (deregistration or server shutdown)."""
+        users = self._by_app.pop(app_id, set())
+        for user in users:
+            apps = self._by_user.get(user)
+            if apps is not None:
+                apps.pop(app_id, None)
+                if not apps:
+                    del self._by_user[user]
+        return True
+
+    def authenticate(self, user: str) -> bool:
+        """Network-wide level-one authentication in one lookup."""
+        return user in self._by_user
+
+    def lookup(self, user: str) -> List[dict]:
+        """Every application the user may access, network-wide."""
+        return list(self._by_user.get(user, {}).values())
+
+    def known_users(self) -> List[str]:
+        return sorted(self._by_user)
+
+    def app_count(self) -> int:
+        return len(self._by_app)

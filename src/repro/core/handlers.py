@@ -1,0 +1,285 @@
+"""The server's servlets — the paper's core service handlers (§4.1).
+
+- ``/master`` — the Master (accepter/controller) servlet: "the client's
+  gateway to the server"; login/logout, application listing, selection.
+- ``/command`` — the Command servlet: steering commands and lock protocol.
+- ``/collab`` — the Collaboration servlet: poll (the HTTP pull of §6.2),
+  groups, chat, whiteboard, shared views, collaboration mode.
+- ``/archive`` — the session-archival handler: replay and latecomer
+  catch-up (§5.2.5).
+
+Every handler translates middleware exceptions to HTTP statuses:
+SecurityError → 401/403, LockError → 409, unknown ids → 404.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.collaboration import DEFAULT_GROUP, CollaborationError
+from repro.core.locking import LockError
+from repro.core.security import SecurityError
+from repro.orb import OrbError
+from repro.web.http import (
+    BAD_REQUEST,
+    CONFLICT,
+    FORBIDDEN,
+    NOT_FOUND,
+    SERVER_ERROR,
+    UNAUTHORIZED,
+)
+from repro.web.servlet import Servlet
+from repro.wire import ChatMessage, UpdateMessage, WhiteboardMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.server import DiscoverServer
+
+
+def mount_all(server: "DiscoverServer") -> None:
+    """Mount the full DISCOVER servlet suite on the server's container."""
+    server.container.mount("/master", MasterServlet(server))
+    server.container.mount("/command", CommandServlet(server))
+    server.container.mount("/collab", CollaborationServlet(server))
+    server.container.mount("/archive", ArchiveServlet(server))
+
+
+class DiscoverServlet(Servlet):
+    """Base: holds the server and maps middleware errors to statuses."""
+
+    def __init__(self, server: "DiscoverServer") -> None:
+        self.server = server
+
+    @staticmethod
+    def _error(exc: Exception):
+        if isinstance(exc, SecurityError):
+            return (FORBIDDEN, {"error": str(exc)})
+        if isinstance(exc, LockError):
+            return (CONFLICT, {"error": str(exc)})
+        if isinstance(exc, CollaborationError):
+            return (NOT_FOUND, {"error": str(exc)})
+        if isinstance(exc, OrbError):
+            return (SERVER_ERROR, {"error": f"peer failure: {exc}"})
+        raise exc
+
+
+class MasterServlet(DiscoverServlet):
+    """Login, logout, application listing, and selection."""
+
+    def do_post(self, request, session):
+        action = request.path.rsplit("/", 1)[-1]
+        p = request.params
+        try:
+            if action == "login":
+                return self._login(p, session)
+            if action == "logout":
+                self.server.client_logout(p["client_id"])
+                session.attributes.pop("client_id", None)
+                return {"ok": True}
+            if action == "select":
+                return self._select(p)
+        except (SecurityError, LockError, CollaborationError,
+                OrbError) as exc:
+            return self._error(exc)
+        except KeyError as exc:
+            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
+
+    def _login(self, p, http_session):
+        try:
+            client_id = yield from self.server.client_login(
+                p["user"], p.get("password", ""))
+        except SecurityError as exc:
+            return (UNAUTHORIZED, {"error": str(exc)})
+        except KeyError as exc:
+            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        http_session.set("client_id", client_id)
+        return {"client_id": client_id,
+                "server": self.server.name,
+                "apps": self.server.list_applications(client_id)}
+
+    def _select(self, p):
+        try:
+            info = yield from self.server.select_app(p["client_id"],
+                                                     p["app_id"])
+        except (SecurityError, CollaborationError, OrbError) as exc:
+            return self._error(exc)
+        except KeyError as exc:
+            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        return info
+
+    def do_get(self, request, session):
+        action = request.path.rsplit("/", 1)[-1]
+        p = request.params
+        try:
+            if action == "apps":
+                return {"apps": self.server.list_applications(p["client_id"])}
+            if action == "users":
+                return {"users": self.server.corba_servant.get_users()}
+        except (CollaborationError,) as exc:
+            return self._error(exc)
+        except KeyError as exc:
+            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
+
+
+class CommandServlet(DiscoverServlet):
+    """Steering commands and the lock protocol."""
+
+    def do_post(self, request, session):
+        action = request.path.rsplit("/", 1)[-1]
+        p = request.params
+        try:
+            if action == "submit":
+                request_id = yield from self.server.submit_command(
+                    p["client_id"], p["app_id"], p["command"],
+                    p.get("args") or {})
+                return {"request_id": request_id}
+            if action == "lock":
+                return (yield from self._lock(p))
+            if action == "schedule":
+                schedule_id = self.server.schedule_interaction(
+                    p["client_id"], p["app_id"], p["command"],
+                    p.get("args") or {}, float(p.get("period", 1.0)),
+                    int(p["count"]) if "count" in p else None)
+                return {"schedule_id": schedule_id}
+            if action == "unschedule":
+                stopped = self.server.cancel_schedule(p["client_id"],
+                                                      p["schedule_id"])
+                return {"stopped": stopped}
+        except (SecurityError, LockError, CollaborationError,
+                OrbError) as exc:
+            return self._error(exc)
+        except (KeyError, ValueError) as exc:
+            return (BAD_REQUEST, {"error": f"bad parameters: {exc}"})
+        return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
+
+    def _lock(self, p):
+        op = p.get("action", "acquire")
+        if op == "acquire":
+            result = yield from self.server.acquire_lock(p["client_id"],
+                                                         p["app_id"])
+            return {"result": result}
+        if op == "release":
+            nxt = yield from self.server.release_lock(p["client_id"],
+                                                      p["app_id"])
+            return {"result": "released", "next_holder": nxt}
+        return (BAD_REQUEST, {"error": f"unknown lock action {op!r}"})
+
+    def do_get(self, request, session):
+        action = request.path.rsplit("/", 1)[-1]
+        p = request.params
+        try:
+            if action == "lock":
+                holder = yield from self.server.lock_holder(p["app_id"])
+                return {"holder": holder}
+        except (SecurityError, OrbError) as exc:
+            return self._error(exc)
+        except KeyError as exc:
+            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
+
+
+class CollaborationServlet(DiscoverServlet):
+    """Poll-and-pull delivery plus group/chat/whiteboard operations."""
+
+    def do_get(self, request, session):
+        action = request.path.rsplit("/", 1)[-1]
+        p = request.params
+        try:
+            if action == "poll":
+                msgs = self.server.poll_client(p["client_id"],
+                                               int(p.get("max", 32)))
+                return {"messages": msgs}
+            if action == "members":
+                return {"members": self.server.collab.members_of(
+                    p["app_id"], p.get("group", DEFAULT_GROUP))}
+        except CollaborationError as exc:
+            return self._error(exc)
+        except KeyError as exc:
+            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
+
+    def do_post(self, request, session):
+        action = request.path.rsplit("/", 1)[-1]
+        p = request.params
+        try:
+            if action == "group":
+                return self._group(p)
+            if action == "mode":
+                self.server.collab.set_collaboration(
+                    p["client_id"], bool(p["enabled"]))
+                return {"ok": True}
+            if action == "chat":
+                return (yield from self._publish(
+                    p, ChatMessage(self._user(p), p["text"])))
+            if action == "whiteboard":
+                return (yield from self._publish(
+                    p, WhiteboardMessage(self._user(p), p["shape"],
+                                         p.get("points", []))))
+            if action == "share":
+                return self._share(p)
+        except (SecurityError, CollaborationError, OrbError) as exc:
+            return self._error(exc)
+        except KeyError as exc:
+            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
+
+    def _user(self, p) -> str:
+        return self.server.collab.session(p["client_id"]).user
+
+    def _group(self, p):
+        op = p.get("action", "join")
+        if op == "join":
+            self.server.collab.join_group(p["client_id"], p["app_id"],
+                                          p["group"])
+        elif op == "leave":
+            self.server.collab.leave_group(p["client_id"], p["app_id"],
+                                           p["group"])
+        else:
+            return (BAD_REQUEST, {"error": f"unknown group action {op!r}"})
+        return {"ok": True, "members": self.server.collab.members_of(
+            p["app_id"], p["group"])}
+
+    def _publish(self, p, msg):
+        delivered = yield from self.server.publish_group(
+            p["client_id"], p["app_id"], p.get("group", DEFAULT_GROUP), msg)
+        return {"delivered": delivered}
+
+    def _share(self, p):
+        """Explicit view share — works with collaboration disabled (§4.1)."""
+        view = UpdateMessage(payload=p.get("view"),
+                             client_id=p["client_id"])
+        view.app_id = p["app_id"]
+        delivered = self.server.collab.share_view(
+            p["client_id"], p["app_id"], p.get("group", DEFAULT_GROUP), view)
+        return {"delivered": delivered}
+
+
+class ArchiveServlet(DiscoverServlet):
+    """Replay and latecomer catch-up over the two archival logs."""
+
+    def do_get(self, request, session):
+        action = request.path.rsplit("/", 1)[-1]
+        p = request.params
+        try:
+            if action == "interactions":
+                records = yield from self.server.replay_interactions(
+                    p["client_id"], p["app_id"],
+                    float(p.get("since", 0.0)),
+                    int(p["limit"]) if "limit" in p else None)
+                return {"records": records}
+            if action == "applog":
+                records = yield from self.server.replay_app_log(
+                    p["client_id"], p["app_id"],
+                    float(p.get("since", 0.0)),
+                    int(p["limit"]) if "limit" in p else None)
+                return {"records": records}
+            if action == "catchup":
+                records = yield from self.server.latecomer_catchup(
+                    p["client_id"], p["app_id"], int(p.get("n", 20)))
+                return {"records": records}
+        except (SecurityError, CollaborationError) as exc:
+            return self._error(exc)
+        except KeyError as exc:
+            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        return (BAD_REQUEST, {"error": f"unknown action {action!r}"})

@@ -1,0 +1,122 @@
+"""Distributed steering locks.
+
+§5.2.4: "A simple locking mechanism is used to ensure that the application
+remains in a consistent state during collaborative interactions.  This
+ensures that only one client 'drives' (issues commands) the application at
+any time.  In a distributed server framework, locking information is only
+maintained at the application's host server ... Servers providing remote
+access to this application only relay lock requests to the host server."
+
+:class:`LockManager` is that host-server authority: one lock per
+application, FIFO wait queue, grant notifications delivered through a
+callback so remote grants can be pushed across the CORBA tier.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+
+class LockError(Exception):
+    """Invalid lock operation (double acquire, foreign release...)."""
+
+
+class SteeringLock:
+    """The single-driver lock of one application."""
+
+    def __init__(self, app_id: str) -> None:
+        self.app_id = app_id
+        self.holder: Optional[str] = None
+        self.waiters: Deque[str] = deque()
+        #: total grants, for reporting
+        self.grants = 0
+
+    @property
+    def is_held(self) -> bool:
+        return self.holder is not None
+
+
+class LockManager:
+    """All steering locks homed at one server.
+
+    ``on_grant(app_id, client_id)`` is invoked whenever a queued waiter is
+    promoted to holder — the server wires this to its client-notification
+    path (local FIFO buffer or remote server push).
+    """
+
+    def __init__(self,
+                 on_grant: Optional[Callable[[str, str], None]] = None) -> None:
+        self._locks: Dict[str, SteeringLock] = {}
+        self.on_grant = on_grant
+
+    def _lock(self, app_id: str) -> SteeringLock:
+        lock = self._locks.get(app_id)
+        if lock is None:
+            lock = self._locks[app_id] = SteeringLock(app_id)
+        return lock
+
+    # -- protocol ----------------------------------------------------------
+    def acquire(self, app_id: str, client_id: str) -> str:
+        """Request the lock.  Returns ``"granted"`` or ``"queued"``."""
+        lock = self._lock(app_id)
+        if lock.holder == client_id:
+            return "granted"  # idempotent re-acquire
+        if client_id in lock.waiters:
+            return "queued"
+        if lock.holder is None:
+            lock.holder = client_id
+            lock.grants += 1
+            return "granted"
+        lock.waiters.append(client_id)
+        return "queued"
+
+    def release(self, app_id: str, client_id: str) -> Optional[str]:
+        """Release the lock; returns the next holder's id, if any.
+
+        A queued waiter may also withdraw (its id is removed silently).
+        Releasing a lock one does not hold raises :class:`LockError`.
+        """
+        lock = self._lock(app_id)
+        if lock.holder != client_id:
+            if client_id in lock.waiters:
+                lock.waiters.remove(client_id)
+                return None
+            raise LockError(
+                f"{client_id!r} does not hold the lock on {app_id!r}")
+        lock.holder = None
+        if lock.waiters:
+            nxt = lock.waiters.popleft()
+            lock.holder = nxt
+            lock.grants += 1
+            if self.on_grant is not None:
+                self.on_grant(app_id, nxt)
+            return nxt
+        return None
+
+    def holder_of(self, app_id: str) -> Optional[str]:
+        """Current driver of ``app_id`` (None if free)."""
+        lock = self._locks.get(app_id)
+        return lock.holder if lock else None
+
+    def holds(self, app_id: str, client_id: str) -> bool:
+        """True if ``client_id`` currently drives ``app_id``."""
+        return self.holder_of(app_id) == client_id
+
+    def queue_length(self, app_id: str) -> int:
+        lock = self._locks.get(app_id)
+        return len(lock.waiters) if lock else 0
+
+    def drop_client(self, client_id: str) -> list:
+        """Release/dequeue everything ``client_id`` holds (disconnect).
+
+        Returns the app_ids whose lock changed hands or freed up.
+        """
+        affected = []
+        for app_id, lock in self._locks.items():
+            if lock.holder == client_id:
+                self.release(app_id, client_id)
+                affected.append(app_id)
+            elif client_id in lock.waiters:
+                lock.waiters.remove(client_id)
+        return affected

@@ -1,0 +1,123 @@
+"""ApplicationProxy: the per-application context object at its home server.
+
+§4.1: "An ApplicationProxy object is created at the server for each active
+application, and is given a unique identifier.  This object encapsulates
+the entire context for the application."  It owns command buffering across
+the application's compute/interaction phases (the DaemonServlet behaviour)
+and the set of remote servers subscribed to the application's updates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Optional, Set
+
+from repro.steering.lifecycle import COMPUTING, INTERACTING
+from repro.wire import CommandMessage, UpdateMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class ApplicationProxy:
+    """Home-server context for one registered application."""
+
+    def __init__(self, app_id: str, app_name: str, interface: dict,
+                 acl: dict, app_host: str, app_port: int, owner: str,
+                 forward: Callable[[str, int, CommandMessage], None]) -> None:
+        self.app_id = app_id
+        self.app_name = app_name
+        self.interface = interface
+        self.acl = dict(acl)
+        self.app_host = app_host
+        self.app_port = app_port
+        #: the user-id that owns the application (first WRITE user, §6.3)
+        self.owner = owner
+        self._forward = forward
+        #: the application's current phase, per its control-channel events
+        self.phase = COMPUTING
+        #: commands buffered while the application computes (§4.1)
+        self.pending: Deque[CommandMessage] = deque()
+        #: latest update payload, served to newly connecting clients
+        self.last_update: Optional[UpdateMessage] = None
+        #: recent updates kept for polling peers (§5.2.3's "CorbaProxy
+        #: objects poll each other" mode; bounded ring)
+        self.update_history: Deque[UpdateMessage] = deque(maxlen=64)
+        #: peer servers subscribed to this application's updates
+        self.remote_subscribers: Set[str] = set()
+        self.active = True
+        # counters
+        self.commands_forwarded = 0
+        self.commands_buffered = 0
+        self.updates_received = 0
+
+    # -- command path ----------------------------------------------------
+    def deliver_command(self, cmd: CommandMessage) -> bool:
+        """Forward now (interaction phase) or buffer (compute phase).
+
+        Returns True if forwarded immediately.
+        """
+        if not self.active:
+            raise RuntimeError(f"application {self.app_id} is not active")
+        if self.phase == INTERACTING:
+            self._send(cmd)
+            return True
+        self.pending.append(cmd)
+        self.commands_buffered += 1
+        return False
+
+    def _send(self, cmd: CommandMessage) -> None:
+        cmd.app_id = self.app_id
+        self._forward(self.app_host, self.app_port, cmd)
+        self.commands_forwarded += 1
+
+    # -- application events ------------------------------------------------
+    def on_phase(self, phase: str) -> int:
+        """Track a phase change; flush buffered commands on interaction.
+
+        Returns the number of commands flushed.
+        """
+        self.phase = phase
+        flushed = 0
+        if phase == INTERACTING:
+            while self.pending:
+                self._send(self.pending.popleft())
+                flushed += 1
+        return flushed
+
+    def on_update(self, update: UpdateMessage) -> None:
+        """Record the latest state the application pushed."""
+        self.last_update = update
+        self.update_history.append(update)
+        self.updates_received += 1
+
+    def updates_since(self, seq: int) -> list:
+        """Updates newer than ``seq`` still in the ring (for polling peers)."""
+        return [u for u in self.update_history if u.seq > seq]
+
+    def mark_stopped(self) -> None:
+        """The application deregistered; reject further commands."""
+        self.active = False
+        self.pending.clear()
+
+    # -- subscriptions -------------------------------------------------------
+    def subscribe_server(self, server_name: str) -> None:
+        self.remote_subscribers.add(server_name)
+
+    def unsubscribe_server(self, server_name: str) -> None:
+        self.remote_subscribers.discard(server_name)
+
+    def summary(self, privilege: Optional[str] = None) -> dict:
+        """Wire-safe descriptor for application listings."""
+        info = {
+            "app_id": self.app_id,
+            "name": self.app_name,
+            "active": self.active,
+            "phase": self.phase,
+        }
+        if privilege is not None:
+            info["privilege"] = privilege
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ApplicationProxy {self.app_id} ({self.app_name})>"

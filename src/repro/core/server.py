@@ -1,0 +1,698 @@
+"""The DISCOVER interaction/collaboration server.
+
+One :class:`DiscoverServer` per host composes every handler the paper names
+(§4.1): a servlet container with the master / command / collaboration /
+archival servlets, the daemon bridging local applications, the security
+handler, the lock manager, and the ORB exposing the two middleware
+interface levels (§5.1) so servers form a peer-to-peer network.
+
+The hybrid architecture (§2.2): server-to-server is peer-to-peer over the
+ORB; client-to-server stays client-server over HTTP, so "clients can access
+the 'closest' server and have access to applications and services provided
+by all the servers".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.core import handlers
+from repro.core.archival import SessionArchive
+from repro.core.collaboration import DEFAULT_GROUP, CollaborationManager
+from repro.core.corba import CorbaProxyServant, DiscoverCorbaServerServant
+from repro.core.daemon import DaemonService, home_server_of
+from repro.core.database import Database
+from repro.core.locking import LockError, LockManager
+from repro.core.policies import PolicyManager
+from repro.core.proxy import ApplicationProxy
+from repro.core.security import (
+    MUTATING_COMMANDS,
+    SecurityError,
+    SecurityManager,
+)
+from repro.core.interfaces import CORBA_PROXY, DISCOVER_CORBA_SERVER
+from repro.net.costs import CostModel
+from repro.orb import ObjectRef, Orb, OrbError, ServiceOffer
+from repro.orb.idl import Stub, make_stub, validate_servant
+from repro.web import ServletContainer
+from repro.wire import (
+    CommandMessage,
+    ControlMessage,
+    LockMessage,
+    Message,
+    UpdateMessage,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+#: trader service id every DISCOVER server registers under (§5.2.1)
+SERVICE_ID = "DISCOVER"
+
+
+class DiscoverServer:
+    """A DISCOVER interaction and collaboration server on one host."""
+
+    def __init__(self, host: "Host", *, domain: Optional[str] = None,
+                 cost_model: Optional[CostModel] = None,
+                 naming_ref: Optional[ObjectRef] = None,
+                 trader_ref: Optional[ObjectRef] = None,
+                 directory_ref: Optional[ObjectRef] = None,
+                 client_buffer_capacity: float = float("inf"),
+                 peer_call_timeout: float = 30.0,
+                 update_mode: str = "push",
+                 update_poll_interval: float = 0.5,
+                 remote_access: str = "relay",
+                 http_port: int = 80) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.name = host.name
+        self.domain = domain or host.domain
+        self.costs = cost_model or CostModel()
+        self.naming_ref = naming_ref
+        self.trader_ref = trader_ref
+        #: optional GIS-style central user directory (§6.3); when set,
+        #: login is a single directory lookup instead of a peer fan-out
+        self.directory_ref = directory_ref
+        self.peer_call_timeout = peer_call_timeout
+        #: how updates for remote apps reach this server: "push" (home
+        #: server sends one message per subscribed peer, the default) or
+        #: "poll" (this server polls the CorbaProxy — the paper's literal
+        #: §5.2.3 description; ablation A4 compares them)
+        if update_mode not in ("push", "poll"):
+            raise ValueError(f"unknown update_mode {update_mode!r}")
+        self.update_mode = update_mode
+        self.update_poll_interval = update_poll_interval
+        #: how clients reach remote applications: "relay" (this server
+        #: forwards over CORBA — the paper's middleware path) or
+        #: "redirect" (the §4.1 "request redirection" auxiliary service:
+        #: the portal is told to connect to the home server directly)
+        if remote_access not in ("relay", "redirect"):
+            raise ValueError(f"unknown remote_access {remote_access!r}")
+        self.remote_access = remote_access
+        self._pollers: Dict[str, Any] = {}
+        self._schedules: Dict[str, Any] = {}
+
+        # -- components ---------------------------------------------------
+        self.security = SecurityManager()
+        self.locks = LockManager(on_grant=self._on_lock_grant)
+        self.collab = CollaborationManager(
+            self.sim, self.name, buffer_capacity=client_buffer_capacity)
+        self.db = Database()
+        self.archive = SessionArchive(self.sim, self.db)
+        self.container = ServletContainer(host, port=http_port,
+                                          cost_model=self.costs)
+        self.daemon = DaemonService(self)
+        self.orb = Orb(host, cost_model=self.costs)
+
+        # -- state -----------------------------------------------------------
+        self.local_proxies: Dict[str, ApplicationProxy] = {}
+        self.corba_proxy_refs: Dict[str, ObjectRef] = {}
+        #: peer server name → DiscoverCorbaServer reference
+        self.peers: Dict[str, ObjectRef] = {}
+        self._remote_proxy_cache: Dict[str, ObjectRef] = {}
+        self.stats = {
+            "updates_fanned": 0,
+            "remote_update_pushes": 0,
+            "commands_submitted": 0,
+            "remote_commands_relayed": 0,
+            "logins": 0,
+        }
+        #: optional LatencyRecorder; when set, the server records
+        #: "update_lag" — virtual time from an application stamping an
+        #: update to the server finishing its fan-out (the E1 metric)
+        self.recorder = None
+
+        #: §6.3 resource accounting + access policies for peer traffic
+        self.policies = PolicyManager()
+
+        # -- wiring ------------------------------------------------------------
+        self.corba_servant = DiscoverCorbaServerServant(self)
+        validate_servant(self.corba_servant, DISCOVER_CORBA_SERVER)
+        self.corba_ref = self.orb.activate(
+            self.corba_servant, key="DiscoverCorbaServer")
+        self.orb.admission = self._admit_orb_request
+        self._peer_stubs: Dict[str, Stub] = {}
+        self._proxy_stubs: Dict[str, Stub] = {}
+        handlers.mount_all(self)
+
+    # ------------------------------------------------------------------
+    # peer network
+    # ------------------------------------------------------------------
+    def publish(self):
+        """Generator: export this server's offer to the trader (§5.2.1)."""
+        if self.trader_ref is None:
+            return None
+        offer = ServiceOffer(SERVICE_ID, self.corba_ref,
+                             {"server": self.name, "domain": self.domain})
+        return (yield from self.orb.invoke(
+            self.trader_ref, "export", offer, timeout=self.peer_call_timeout))
+
+    def discover_peers(self):
+        """Generator: find every other DISCOVER server via the trader."""
+        if self.trader_ref is None:
+            return []
+        offers = yield from self.orb.invoke(
+            self.trader_ref, "query", SERVICE_ID,
+            timeout=self.peer_call_timeout)
+        found = []
+        for offer in offers:
+            peer = offer.properties.get("server", offer.ref.host)
+            if peer == self.name:
+                continue
+            self.peers[peer] = offer.ref
+            found.append(peer)
+        return found
+
+    def add_peer(self, name: str, ref: ObjectRef) -> None:
+        """Static peer wiring (tests / fixed deployments)."""
+        if name != self.name:
+            self.peers[name] = ref
+
+    def peer_stub(self, name: str) -> Stub:
+        """Typed level-one stub for a known peer server."""
+        stub = self._peer_stubs.get(name)
+        if stub is None or stub.ref != self.peers.get(name):
+            try:
+                ref = self.peers[name]
+            except KeyError:
+                raise OrbError(f"no peer server {name!r} known at "
+                               f"{self.name}") from None
+            stub = make_stub(self.orb, ref, DISCOVER_CORBA_SERVER,
+                             timeout=self.peer_call_timeout)
+            self._peer_stubs[name] = stub
+        return stub
+
+    def proxy_stub(self, app_id: str, ref: ObjectRef) -> Stub:
+        """Typed level-two stub for a remote application's CorbaProxy."""
+        stub = self._proxy_stubs.get(app_id)
+        if stub is None or stub.ref != ref:
+            stub = make_stub(self.orb, ref, CORBA_PROXY,
+                             timeout=self.peer_call_timeout)
+            self._proxy_stubs[app_id] = stub
+        return stub
+
+    def is_local_app(self, app_id: str) -> bool:
+        return home_server_of(app_id) == self.name
+
+    # ------------------------------------------------------------------
+    # application-side events (invoked by the daemon)
+    # ------------------------------------------------------------------
+    def on_app_register(self, proxy: ApplicationProxy) -> None:
+        self.local_proxies[proxy.app_id] = proxy
+        self.security.register_app_acl(proxy.app_id, proxy.acl)
+        servant = CorbaProxyServant(self, proxy.app_id)
+        validate_servant(servant, CORBA_PROXY)
+        ref = self.orb.activate(servant, key=f"CorbaProxy/{proxy.app_id}")
+        self.corba_proxy_refs[proxy.app_id] = ref
+        # Bind in the network-wide naming service (asynchronously —
+        # registration must not block on a WAN round trip).
+        if self.naming_ref is not None:
+            self.sim.spawn(self._bind_app(proxy.app_id, ref),
+                           name=f"bind-{proxy.app_id}")
+        # Publish users to the central directory, if deployed (§6.3).
+        if self.directory_ref is not None:
+            self.sim.spawn(self._publish_app_to_directory(proxy),
+                           name=f"dir-{proxy.app_id}")
+
+    def _bind_app(self, app_id: str, ref: ObjectRef):
+        try:
+            yield from self.orb.invoke(self.naming_ref, "rebind", app_id, ref,
+                                       timeout=self.peer_call_timeout)
+        except OrbError:  # naming down: discovery degrades, serving works
+            pass
+
+    def _publish_app_to_directory(self, proxy: ApplicationProxy):
+        try:
+            yield from self.orb.invoke(
+                self.directory_ref, "publish_app", proxy.app_id, self.name,
+                proxy.app_name, proxy.acl, timeout=self.peer_call_timeout)
+        except OrbError:  # directory down: login falls back to fan-out
+            pass
+
+    def on_app_update(self, msg: UpdateMessage) -> None:
+        proxy = self.local_proxies.get(msg.app_id)
+        if proxy is None:
+            return
+        proxy.on_update(msg)
+        # archive on the application log (owner's record, ACL as readers)
+        self.archive.log_app_record(
+            msg.app_id, proxy.owner, "update",
+            {"seq": msg.seq, "timestamp": msg.timestamp},
+            readers=list(proxy.acl))
+        self._charge_async(self.costs.log_append_cost)
+        # local fan-out
+        self.stats["updates_fanned"] += self.collab.broadcast_update(
+            msg.app_id, msg)
+        # one push per subscribed remote server (§5.2.3)
+        for peer in proxy.remote_subscribers:
+            if peer in self.peers:
+                self.peer_stub(peer).deliver_update(msg.app_id, msg)
+                self.stats["remote_update_pushes"] += 1
+        if self.recorder is not None:
+            self.recorder.record("update_lag", self.sim.now - msg.timestamp)
+
+    def on_app_response(self, msg: Message) -> None:
+        proxy = self.local_proxies.get(msg.app_id)
+        if proxy is not None:
+            self.archive.log_app_record(
+                msg.app_id, proxy.owner, "response",
+                {"request_id": getattr(msg, "request_id", None)},
+                readers=list(proxy.acl))
+            self._charge_async(self.costs.log_append_cost)
+        client_id = msg.client_id
+        if client_id is None:
+            return
+        if self.collab.owner_server(client_id) == self.name:
+            self.collab.deliver_response(client_id, msg, app_id=msg.app_id)
+        else:
+            self._push_remote_client(client_id, msg)
+
+    def on_app_phase(self, app_id: str, phase: str) -> None:
+        proxy = self.local_proxies.get(app_id)
+        if proxy is not None:
+            proxy.on_phase(phase)
+
+    def on_app_deregister(self, app_id: str) -> None:
+        proxy = self.local_proxies.get(app_id)
+        if proxy is None:
+            return
+        proxy.mark_stopped()
+        if self.directory_ref is not None:
+            self.sim.spawn(self._withdraw_from_directory(app_id),
+                           name=f"undir-{app_id}")
+        note = ControlMessage("app_stopped", detail=app_id, app_id=app_id,
+                              sender=self.name)
+        self.collab.broadcast_update(app_id, note)
+        for peer in proxy.remote_subscribers:
+            if peer in self.peers:
+                self.peer_stub(peer).deliver_update(app_id, note)
+
+    # ------------------------------------------------------------------
+    # client operations (driven by the servlets)
+    # ------------------------------------------------------------------
+    def client_login(self, user: str, password: str = ""):
+        """Generator: two-level login with network-wide application listing.
+
+        Level one authenticates locally; then, per §5.2.2, the security
+        handler authenticates the user with every peer server and collects
+        the remote applications they may access.
+        """
+        yield from self.host.use_cpu(self.costs.ssl_handshake_cost
+                                     + self.costs.auth_check_cost)
+        known_locally = self.security.authenticate_user(user, password)
+        remote_apps: Dict[str, dict] = {}
+        if self.directory_ref is not None:
+            # §6.3's proposed GIS-style directory: one lookup replaces the
+            # whole peer fan-out.
+            try:
+                listings = yield from self.orb.invoke(
+                    self.directory_ref, "lookup", user,
+                    timeout=self.peer_call_timeout)
+            except OrbError:
+                listings = None
+            if listings is not None:
+                for summary in listings:
+                    if summary["server"] != self.name:
+                        remote_apps[summary["app_id"]] = summary
+                return self._finish_login(user, known_locally, remote_apps)
+        for peer in list(self.peers):
+            try:
+                apps = yield from self.peer_stub(peer).authenticate_and_list(
+                    user)
+            except OrbError:
+                continue  # peer down — availability "determined at runtime"
+            for summary in apps:
+                remote_apps[summary["app_id"]] = summary
+        return self._finish_login(user, known_locally, remote_apps)
+
+    def _finish_login(self, user: str, known_locally: bool,
+                      remote_apps: Dict[str, dict]) -> str:
+        # §6.3: user-ids belong to applications, not servers — accept the
+        # login if *any* server in the network vouches for the user.
+        if not known_locally and not remote_apps:
+            raise SecurityError(f"user {user!r} unknown in the network "
+                                f"(via {self.name})")
+        session = self.collab.create_session(user)
+        session.remote_apps = remote_apps
+        self.stats["logins"] += 1
+        return session.client_id
+
+    def client_logout(self, client_id: str) -> None:
+        for sid in [s for s in self._schedules
+                    if s.startswith(f"sched-{client_id}-")]:
+            proc = self._schedules.pop(sid, None)
+            if proc is not None and proc.is_alive:
+                proc.interrupt("logout")
+        self.locks.drop_client(client_id)
+        self.collab.drop_session(client_id)
+
+    def visible_apps(self, user: str) -> List[dict]:
+        """Local applications ``user`` can access, with privileges."""
+        out = []
+        for app_id, priv in self.security.accessible_apps(user).items():
+            proxy = self.local_proxies.get(app_id)
+            if proxy is not None and proxy.active:
+                summary = proxy.summary(priv)
+                summary["server"] = self.name
+                out.append(summary)
+        return out
+
+    def list_applications(self, client_id: str) -> List[dict]:
+        """Everything this client can see: local + cached remote."""
+        session = self.collab.session(client_id)
+        local = self.visible_apps(session.user)
+        remote = list(getattr(session, "remote_apps", {}).values())
+        return local + remote
+
+    def select_app(self, client_id: str, app_id: str):
+        """Generator: second-level auth + subscription; returns the
+        customized steering interface (§5.2.2)."""
+        session = self.collab.session(client_id)
+        user = session.user
+        if self.is_local_app(app_id):
+            privilege = self.security.app_privilege(user, app_id)
+            if privilege is None:
+                raise SecurityError(f"{user!r} has no access to {app_id!r}")
+            proxy = self._local_proxy(app_id)
+            yield from self.host.use_cpu(self.costs.auth_check_cost)
+            info = {"app_id": app_id, "name": proxy.app_name,
+                    "privilege": privilege, "interface": proxy.interface,
+                    "last_update": proxy.last_update}
+        else:
+            if self.remote_access == "redirect":
+                # §4.1's request-redirection service: send the portal to
+                # the application's home server instead of relaying.
+                return {"redirect": home_server_of(app_id),
+                        "app_id": app_id}
+            ref = yield from self._remote_proxy_ref(app_id)
+            stub = self.proxy_stub(app_id, ref)
+            info = yield from stub.get_interface(user)
+            if self.update_mode == "push":
+                yield from stub.subscribe_server(self.name)
+            else:
+                self._ensure_poller(app_id, ref)
+        self.collab.subscribe(client_id, app_id)
+        return info
+
+    def _ensure_poller(self, app_id: str, ref: ObjectRef) -> None:
+        poller = self._pollers.get(app_id)
+        if poller is not None and poller.is_alive:
+            return
+        self._pollers[app_id] = self.sim.spawn(
+            self._poll_remote_updates(app_id, ref),
+            name=f"poll-{app_id}@{self.name}")
+
+    def _poll_remote_updates(self, app_id: str, ref: ObjectRef):
+        """Poll the remote CorbaProxy for updates while local clients care."""
+        last_seq = 0
+        idle_rounds = 0
+        while idle_rounds < 3 or self.collab.local_subscribers(app_id):
+            yield self.sim.timeout(self.update_poll_interval)
+            if not self.collab.local_subscribers(app_id):
+                idle_rounds += 1
+                continue
+            idle_rounds = 0
+            try:
+                updates = yield from self.proxy_stub(
+                    app_id, ref).get_updates_since(last_seq)
+            except OrbError:
+                continue
+            for update in updates:
+                last_seq = max(last_seq, update.seq)
+                self.collab.broadcast_update(app_id, update)
+        self._pollers.pop(app_id, None)
+
+    def submit_command(self, client_id: str, app_id: str, command: str,
+                       args: Optional[dict] = None):
+        """Generator: route a steering command to the application.
+
+        Local applications go straight to the proxy; remote ones are
+        relayed over the ORB to the home server (§5.1.1).  Returns the
+        request id whose response will arrive on the client's poll stream.
+        """
+        session = self.collab.session(client_id)
+        args = args or {}
+        self.stats["commands_submitted"] += 1
+        if self.is_local_app(app_id):
+            return self.submit_local_command(session.user, client_id, app_id,
+                                             command, args)
+        remote = getattr(session, "remote_apps", {}).get(app_id)
+        if remote is None:
+            raise SecurityError(f"{session.user!r} has no access to "
+                                f"{app_id!r}")
+        ref = yield from self._remote_proxy_ref(app_id)
+        self.stats["remote_commands_relayed"] += 1
+        request_id = yield from self.proxy_stub(app_id, ref).deliver_command(
+            session.user, client_id, command, args)
+        return request_id
+
+    def submit_local_command(self, user: str, client_id: str, app_id: str,
+                             command: str, args: dict,
+                             request_id: Optional[int] = None) -> int:
+        """Authoritative command admission at the home server (plain call).
+
+        Enforces the per-application ACL and — for mutating commands — the
+        single-driver steering lock (§5.2.4).
+        """
+        proxy = self._local_proxy(app_id)
+        if not proxy.active:
+            raise LockError(f"application {app_id!r} has stopped")
+        self.security.authorize_command(user, app_id, command)
+        if command in MUTATING_COMMANDS and not self.locks.holds(
+                app_id, client_id):
+            raise LockError(
+                f"{client_id!r} must hold the steering lock on {app_id!r} "
+                f"to run {command!r}")
+        cmd = CommandMessage(command, args, request_id=request_id,
+                             client_id=client_id, app_id=app_id,
+                             sender=self.name)
+        self.archive.log_interaction(app_id, user, "command",
+                                     {"command": command,
+                                      "request_id": cmd.request_id},
+                                     readers=list(proxy.acl))
+        self._charge_async(self.costs.log_append_cost)
+        proxy.deliver_command(cmd)
+        return cmd.request_id
+
+    # -- scheduled interactions (§2.1: "schedule automated periodic
+    # interactions") ------------------------------------------------------
+    def schedule_interaction(self, client_id: str, app_id: str,
+                             command: str, args: Optional[dict] = None,
+                             period: float = 1.0,
+                             count: Optional[int] = None) -> str:
+        """Issue ``command`` on the client's behalf every ``period``.
+
+        Responses arrive on the client's ordinary poll stream.  The
+        schedule ends after ``count`` firings (None = until cancelled,
+        logout, or a failure — e.g. losing access or the app stopping).
+        Returns the schedule id.
+        """
+        self.collab.session(client_id)  # validate
+        if period <= 0:
+            raise ValueError("period must be positive")
+        schedule_id = f"sched-{client_id}-{len(self._schedules) + 1}"
+        proc = self.sim.spawn(
+            self._run_schedule(schedule_id, client_id, app_id, command,
+                               dict(args or {}), period, count),
+            name=schedule_id)
+        self._schedules[schedule_id] = proc
+        return schedule_id
+
+    def cancel_schedule(self, client_id: str, schedule_id: str) -> bool:
+        """Stop a schedule; returns False if it already ended."""
+        if not schedule_id.startswith(f"sched-{client_id}-"):
+            raise SecurityError(
+                f"{client_id!r} does not own schedule {schedule_id!r}")
+        proc = self._schedules.pop(schedule_id, None)
+        if proc is None or not proc.is_alive:
+            return False
+        proc.interrupt("cancelled")
+        return True
+
+    def _run_schedule(self, schedule_id: str, client_id: str, app_id: str,
+                      command: str, args: dict, period: float,
+                      count: Optional[int]):
+        from repro.sim import Interrupt
+        fired = 0
+        try:
+            while count is None or fired < count:
+                yield self.sim.timeout(period)
+                try:
+                    self.collab.session(client_id)
+                except CollaborationError:
+                    break  # client logged out
+                try:
+                    yield from self.submit_command(client_id, app_id,
+                                                   command, args)
+                except (SecurityError, LockError, OrbError) as exc:
+                    # surface the failure on the poll stream and stop
+                    from repro.wire import ErrorMessage
+                    self.collab.push_to_client(
+                        client_id,
+                        ErrorMessage(0, f"schedule {schedule_id} stopped: "
+                                        f"{exc}", code="SCHEDULE",
+                                     app_id=app_id, client_id=client_id))
+                    break
+                fired += 1
+        except Interrupt:
+            pass
+        finally:
+            self._schedules.pop(schedule_id, None)
+
+    # -- locks -----------------------------------------------------------
+    def acquire_lock(self, client_id: str, app_id: str):
+        """Generator: acquire the steering lock (relayed if remote)."""
+        self.collab.session(client_id)  # validates
+        if self.is_local_app(app_id):
+            self._local_proxy(app_id)
+            return self.locks.acquire(app_id, client_id)
+        ref = yield from self._remote_proxy_ref(app_id)
+        return (yield from self.proxy_stub(app_id, ref)
+                .acquire_lock(client_id))
+
+    def release_lock(self, client_id: str, app_id: str):
+        """Generator: release the steering lock (relayed if remote)."""
+        if self.is_local_app(app_id):
+            return self.locks.release(app_id, client_id)
+        ref = yield from self._remote_proxy_ref(app_id)
+        return (yield from self.proxy_stub(app_id, ref)
+                .release_lock(client_id))
+
+    def lock_holder(self, app_id: str):
+        """Generator: current lock holder (relayed if remote)."""
+        if self.is_local_app(app_id):
+            return self.locks.holder_of(app_id)
+        ref = yield from self._remote_proxy_ref(app_id)
+        return (yield from self.proxy_stub(app_id, ref).lock_holder())
+
+    def _on_lock_grant(self, app_id: str, client_id: str) -> None:
+        msg = LockMessage("granted", holder=client_id, app_id=app_id,
+                          sender=self.name)
+        self._route_to_client(client_id, msg)
+
+    # -- collaboration -----------------------------------------------------
+    def poll_client(self, client_id: str, max_items: int = 32) -> List[Message]:
+        """Drain up to ``max_items`` from the client's FIFO buffer."""
+        session = self.collab.session(client_id)
+        out = []
+        while len(out) < max_items:
+            item = session.buffer.try_get()
+            if item is None:
+                break
+            out.append(item)
+        return out
+
+    def publish_group(self, client_id: str, app_id: str, group: str,
+                      msg: Message):
+        """Generator: chat/whiteboard/shared-view to a collaboration group.
+
+        Groups "can span multiple servers" (§5.2.3): the message is fanned
+        out by the application's home server, one push per remote server.
+        """
+        self.collab.session(client_id)
+        msg.app_id = app_id
+        msg.client_id = client_id
+        if self.is_local_app(app_id):
+            return self.publish_local_group(app_id, group, msg,
+                                            exclude=client_id)
+        ref = yield from self._remote_proxy_ref(app_id)
+        return (yield from self.proxy_stub(app_id, ref)
+                .publish_group_message(group, msg, exclude=client_id))
+
+    def publish_local_group(self, app_id: str, group: str, msg: Message,
+                            exclude: Optional[str] = None) -> int:
+        """Home-server fan-out of a group message (local + peer pushes)."""
+        count = self.collab.broadcast_group(app_id, group, msg,
+                                            exclude=exclude)
+        proxy = self.local_proxies.get(app_id)
+        if proxy is not None:
+            for peer in proxy.remote_subscribers:
+                if peer in self.peers:
+                    self.peer_stub(peer).deliver_group_message(
+                        app_id, group, msg, exclude=exclude or "")
+        return count
+
+    # -- archival -------------------------------------------------------------
+    def replay_interactions(self, client_id: str, app_id: str,
+                            since: float = 0.0,
+                            limit: Optional[int] = None):
+        """Generator: a client's replayable interaction history (§5.2.5)."""
+        session = self.collab.session(client_id)
+        records = self.archive.replay_interactions(app_id, session.user,
+                                                   since, limit)
+        yield from self.host.use_cpu(
+            self.costs.log_read_cost * max(1, len(records)))
+        return records
+
+    def replay_app_log(self, client_id: str, app_id: str,
+                       since: float = 0.0, limit: Optional[int] = None):
+        """Generator: the application's archived history."""
+        session = self.collab.session(client_id)
+        records = self.archive.replay_app_log(app_id, session.user, since,
+                                              limit)
+        yield from self.host.use_cpu(
+            self.costs.log_read_cost * max(1, len(records)))
+        return records
+
+    def latecomer_catchup(self, client_id: str, app_id: str, n: int = 20):
+        """Generator: recent interactions for a late group joiner."""
+        session = self.collab.session(client_id)
+        records = self.archive.latecomer_catchup(app_id, session.user, n)
+        yield from self.host.use_cpu(
+            self.costs.log_read_cost * max(1, len(records)))
+        return records
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _local_proxy(self, app_id: str) -> ApplicationProxy:
+        proxy = self.local_proxies.get(app_id)
+        if proxy is None:
+            raise SecurityError(f"unknown application {app_id!r}")
+        return proxy
+
+    def _remote_proxy_ref(self, app_id: str):
+        """Generator: resolve (and cache) a remote app's CorbaProxy ref."""
+        ref = self._remote_proxy_cache.get(app_id)
+        if ref is not None:
+            return ref
+        home = home_server_of(app_id)
+        ref = yield from self.peer_stub(home).get_corba_proxy(app_id)
+        self._remote_proxy_cache[app_id] = ref
+        return ref
+
+    def _route_to_client(self, client_id: str, msg: Message) -> None:
+        if self.collab.owner_server(client_id) == self.name:
+            self.collab.push_to_client(client_id, msg)
+        else:
+            self._push_remote_client(client_id, msg)
+
+    def _push_remote_client(self, client_id: str, msg: Message) -> None:
+        owner = self.collab.owner_server(client_id)
+        if owner in self.peers:
+            self.peer_stub(owner).deliver_to_client(client_id, msg)
+
+    def _withdraw_from_directory(self, app_id: str):
+        try:
+            yield from self.orb.invoke(self.directory_ref, "withdraw_app",
+                                       app_id, timeout=self.peer_call_timeout)
+        except OrbError:
+            pass
+
+    def _admit_orb_request(self, principal: str, operation: str,
+                           size: int) -> None:
+        """§6.3 enforcement point: account (and possibly reject) every
+        incoming ORB request by its originating host."""
+        self.policies.check(principal or "anonymous", self.sim.now, size)
+
+    def _charge_async(self, cost: float) -> None:
+        """Account CPU work without blocking the calling dispatch path."""
+        if cost > 0:
+            self.sim.spawn(self.host.use_cpu(cost), name="async-cpu")
+
+    def stop(self) -> None:
+        """Shut down every component (end of scenario)."""
+        self.container.stop()
+        self.daemon.stop()
+        self.orb.shutdown()

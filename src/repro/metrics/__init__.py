@@ -1,0 +1,17 @@
+"""Measurement utilities for experiments.
+
+- :class:`LatencyRecorder` — collects per-operation latencies and reduces
+  them to summary statistics (mean / percentiles).
+- :class:`ThroughputMeter` — counts events over virtual-time windows.
+- :class:`SummaryStats` — the reduction product, printable as table rows.
+"""
+
+from repro.metrics.collectors import LatencyRecorder, ThroughputMeter
+from repro.metrics.stats import SummaryStats, summarize
+
+__all__ = [
+    "LatencyRecorder",
+    "SummaryStats",
+    "ThroughputMeter",
+    "summarize",
+]

@@ -1,0 +1,78 @@
+"""Runtime collectors driven inside simulation scenarios."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.metrics.stats import SummaryStats, summarize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Simulator
+
+
+class LatencyRecorder:
+    """Collects latency samples per named operation."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+        self._open: Dict[tuple, float] = {}
+
+    # -- explicit samples -----------------------------------------------
+    def record(self, op: str, latency: float) -> None:
+        self._samples[op].append(latency)
+
+    # -- start/stop spans ---------------------------------------------------
+    def start(self, op: str, key) -> None:
+        """Open a span identified by ``(op, key)`` at the current time."""
+        self._open[(op, key)] = self.sim.now
+
+    def stop(self, op: str, key) -> Optional[float]:
+        """Close a span; records and returns its duration."""
+        t0 = self._open.pop((op, key), None)
+        if t0 is None:
+            return None
+        latency = self.sim.now - t0
+        self._samples[op].append(latency)
+        return latency
+
+    # -- reduction --------------------------------------------------------
+    def samples(self, op: str) -> List[float]:
+        return list(self._samples.get(op, ()))
+
+    def stats(self, op: str) -> SummaryStats:
+        return summarize(self._samples.get(op, ()))
+
+    def operations(self) -> List[str]:
+        return sorted(self._samples)
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self._open.clear()
+
+
+class ThroughputMeter:
+    """Counts events and reports rates over the elapsed virtual time."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._counts: Dict[str, int] = defaultdict(int)
+        self._t0 = sim.now
+
+    def count(self, op: str, n: int = 1) -> None:
+        self._counts[op] += n
+
+    def total(self, op: str) -> int:
+        return self._counts.get(op, 0)
+
+    def rate(self, op: str) -> float:
+        """Events per virtual second since construction (or reset)."""
+        elapsed = self.sim.now - self._t0
+        if elapsed <= 0:
+            return 0.0
+        return self._counts.get(op, 0) / elapsed
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._t0 = self.sim.now

@@ -1,0 +1,52 @@
+"""Summary statistics over latency samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Reduction of a sample set, in the units of the samples."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def scaled(self, factor: float) -> "SummaryStats":
+        """Same stats in different units (e.g. seconds → milliseconds)."""
+        return SummaryStats(self.count, self.mean * factor,
+                            self.std * factor, self.minimum * factor,
+                            self.p50 * factor, self.p90 * factor,
+                            self.p99 * factor, self.maximum * factor)
+
+    def row(self, ndigits: int = 2) -> str:
+        """One human-readable table row."""
+        return (f"n={self.count:5d}  mean={self.mean:9.{ndigits}f}  "
+                f"p50={self.p50:9.{ndigits}f}  p90={self.p90:9.{ndigits}f}  "
+                f"p99={self.p99:9.{ndigits}f}  max={self.maximum:9.{ndigits}f}")
+
+
+def summarize(samples: Sequence[float]) -> SummaryStats:
+    """Reduce ``samples`` to :class:`SummaryStats` (empty → all zeros)."""
+    if len(samples) == 0:
+        return SummaryStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    arr = np.asarray(samples, dtype=float)
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p90=float(np.percentile(arr, 90)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,113 @@
+"""Hosts and endpoints.
+
+A :class:`Host` is a named machine with a CPU (:class:`~repro.sim.Resource`)
+and a set of ports.  Binding a port yields an :class:`Endpoint` — the
+socket-like object all higher layers (channels, ORB, HTTP) are built on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.sim import Resource, Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Frame, Network
+    from repro.sim import Simulator
+
+
+class Host:
+    """A machine in the simulated network.
+
+    ``cpu_capacity`` is the number of requests the host can service
+    concurrently (the paper's servlet engine worker pool); service *times*
+    come from the :class:`~repro.net.costs.CostModel`.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, cpu_capacity: int = 1,
+                 domain: str = "default") -> None:
+        self.sim = sim
+        self.name = name
+        self.domain = domain
+        self.cpu = Resource(sim, capacity=cpu_capacity)
+        self.ports: Dict[int, Store] = {}
+        self.network: Optional["Network"] = None
+        #: cumulative busy-time accounting, for utilisation reports
+        self.busy_time = 0.0
+
+    def bind(self, port: int) -> "Endpoint":
+        """Reserve ``port`` and return its endpoint."""
+        if port in self.ports:
+            raise ValueError(f"port {port} already bound on {self.name}")
+        inbox = Store(self.sim)
+        self.ports[port] = inbox
+        return Endpoint(self, port, inbox)
+
+    def unbind(self, port: int) -> None:
+        """Release a bound port."""
+        self.ports.pop(port, None)
+
+    def use_cpu(self, duration: float):
+        """Process: occupy one CPU slot for ``duration`` of service time.
+
+        This is the queueing point that produces the paper's saturation
+        behaviour: when offered load exceeds CPU capacity, waiting time —
+        and thus client-visible latency — grows without bound.
+        """
+        req = self.cpu.request()
+        yield req
+        try:
+            if duration > 0:
+                yield self.sim.timeout(duration)
+            self.busy_time += duration
+        finally:
+            self.cpu.release(req)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Host {self.name} domain={self.domain}>"
+
+
+class Endpoint:
+    """A bound (host, port) pair with a receive queue.
+
+    ``send`` is fire-and-forget (delivery is handled by the network);
+    ``recv`` blocks the calling process until a frame arrives.
+    """
+
+    def __init__(self, host: Host, port: int, inbox: Store) -> None:
+        self.host = host
+        self.port = port
+        self.inbox = inbox
+
+    @property
+    def address(self) -> tuple:
+        """The ``(host_name, port)`` address of this endpoint."""
+        return (self.host.name, self.port)
+
+    def send(self, dst_host: str, dst_port: int, payload: Any,
+             channel: str = "main") -> "Frame":
+        """Hand ``payload`` to the network for delivery (returns the frame)."""
+        if self.host.network is None:
+            raise RuntimeError(f"host {self.host.name} is not attached "
+                               f"to a network")
+        return self.host.network.send(self.host.name, self.port,
+                                      dst_host, dst_port, payload, channel)
+
+    def recv(self):
+        """Event that fires with the next delivered :class:`Frame`."""
+        return self.inbox.get()
+
+    def try_recv(self) -> Optional["Frame"]:
+        """Non-blocking receive; ``None`` if nothing is queued."""
+        return self.inbox.try_get()
+
+    def pending(self) -> int:
+        """Number of frames waiting in the inbox."""
+        return len(self.inbox)
+
+    def close(self) -> None:
+        """Unbind the port."""
+        self.host.unbind(self.port)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Endpoint {self.host.name}:{self.port}>"

@@ -1,0 +1,85 @@
+"""Point-to-point duplex links with latency and bandwidth.
+
+Transmission time (``size / bandwidth``) serializes on the link — frames
+queue behind one another per direction — while propagation latency is
+pipelined, the standard store-and-forward model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.sim import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Simulator
+
+
+class Link:
+    """A duplex link between two hosts.
+
+    Parameters
+    ----------
+    latency:
+        One-way propagation delay in seconds.
+    bandwidth:
+        Bytes per second.  ``inf`` models an uncontended abstraction.
+    kind:
+        ``"lan"`` or ``"wan"`` — used by :class:`~repro.net.trace.TrafficTrace`
+        to separate intra-domain from inter-domain traffic (experiment E4).
+    """
+
+    def __init__(self, sim: "Simulator", a: str, b: str, latency: float,
+                 bandwidth: float = float("inf"), kind: str = "lan") -> None:
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be > 0")
+        if a == b:
+            raise ValueError("link endpoints must differ")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.kind = kind
+        # One transmit queue per direction.
+        self._tx = {a: Resource(sim, capacity=1), b: Resource(sim, capacity=1)}
+
+    @property
+    def ends(self) -> Tuple[str, str]:
+        return (self.a, self.b)
+
+    def other(self, host: str) -> str:
+        """The opposite endpoint of ``host``."""
+        if host == self.a:
+            return self.b
+        if host == self.b:
+            return self.a
+        raise ValueError(f"{host!r} is not an endpoint of {self!r}")
+
+    def transfer_time(self, size: int) -> float:
+        """Pure transmission time for ``size`` bytes (no queueing)."""
+        if self.bandwidth == float("inf"):
+            return 0.0
+        return size / self.bandwidth
+
+    def transmit(self, src: str, size: int):
+        """Process: occupy the ``src``-side transmitter for the transfer,
+        then wait the propagation latency.  Yields; returns at delivery time.
+        """
+        tx = self._tx[src]  # KeyError doubles as endpoint validation
+        req = tx.request()
+        yield req
+        try:
+            t = self.transfer_time(size)
+            if t > 0:
+                yield self.sim.timeout(t)
+        finally:
+            tx.release(req)
+        if self.latency > 0:
+            yield self.sim.timeout(self.latency)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Link {self.a}<->{self.b} {self.kind} "
+                f"lat={self.latency * 1e3:.1f}ms>")

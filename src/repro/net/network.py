@@ -1,0 +1,163 @@
+"""The network: topology, routing, and frame delivery.
+
+``Network.send`` computes the (latency-weighted) shortest path once, then
+spawns a delivery process that walks the path hop by hop: each hop occupies
+the link transmitter for ``size/bandwidth``, then waits the propagation
+latency, and is counted by the traffic trace.  Frames finally land in the
+destination endpoint's inbox.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.trace import TrafficTrace
+from repro.wire import encoded_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Simulator
+
+_frame_ids = itertools.count(1)
+
+
+class NetworkError(Exception):
+    """Unroutable destinations, unbound ports, unknown hosts."""
+
+
+@dataclass
+class Frame:
+    """One payload in flight, with its measured wire size."""
+
+    src_host: str
+    src_port: int
+    dst_host: str
+    dst_port: int
+    payload: Any
+    size: int
+    channel: str = "main"
+    sent_at: float = 0.0
+    delivered_at: Optional[float] = None
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end delivery time, once delivered."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at
+
+
+class Network:
+    """A set of hosts joined by links, with static shortest-path routing."""
+
+    def __init__(self, sim: "Simulator", trace: Optional[TrafficTrace] = None,
+                 frame_overhead: int = 64) -> None:
+        self.sim = sim
+        self.trace = trace if trace is not None else TrafficTrace()
+        #: per-frame framing overhead in bytes (headers: TCP/IP + protocol)
+        self.frame_overhead = frame_overhead
+        self.hosts: Dict[str, Host] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self.graph = nx.Graph()
+        self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+        #: frames that arrived at unbound ports (dropped, visible for debug)
+        self.dropped: List[Frame] = []
+
+    # -- construction ------------------------------------------------------
+    def add_host(self, name: str, cpu_capacity: int = 1,
+                 domain: str = "default") -> Host:
+        """Create and attach a host."""
+        if name in self.hosts:
+            raise NetworkError(f"duplicate host {name!r}")
+        host = Host(self.sim, name, cpu_capacity=cpu_capacity, domain=domain)
+        host.network = self
+        self.hosts[name] = host
+        self.graph.add_node(name)
+        return host
+
+    def add_link(self, a: str, b: str, latency: float,
+                 bandwidth: float = float("inf"), kind: str = "lan") -> Link:
+        """Join two existing hosts with a duplex link."""
+        for end in (a, b):
+            if end not in self.hosts:
+                raise NetworkError(f"unknown host {end!r}")
+        key = tuple(sorted((a, b)))
+        if key in self.links:
+            raise NetworkError(f"duplicate link {a}<->{b}")
+        link = Link(self.sim, a, b, latency, bandwidth, kind)
+        self.links[key] = link
+        self.graph.add_edge(a, b, weight=max(latency, 1e-9), link=link)
+        self._route_cache.clear()
+        return link
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The direct link joining ``a`` and ``b``."""
+        try:
+            return self.links[tuple(sorted((a, b)))]
+        except KeyError:
+            raise NetworkError(f"no link {a}<->{b}") from None
+
+    # -- routing ------------------------------------------------------------
+    def route(self, src: str, dst: str) -> List[str]:
+        """Hop sequence (list of host names) from ``src`` to ``dst``."""
+        key = (src, dst)
+        path = self._route_cache.get(key)
+        if path is None:
+            try:
+                path = nx.shortest_path(self.graph, src, dst, weight="weight")
+            except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+                raise NetworkError(f"no route {src} -> {dst}") from exc
+            self._route_cache[key] = path
+        return path
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """Sum of propagation latencies along the route (no queueing)."""
+        path = self.route(src, dst)
+        return sum(self.link_between(a, b).latency
+                   for a, b in zip(path, path[1:]))
+
+    # -- delivery -------------------------------------------------------------
+    def send(self, src_host: str, src_port: int, dst_host: str, dst_port: int,
+             payload: Any, channel: str = "main") -> Frame:
+        """Inject a frame; returns it immediately (delivery is asynchronous)."""
+        if dst_host not in self.hosts:
+            raise NetworkError(f"unknown destination host {dst_host!r}")
+        size = encoded_size(payload) + self.frame_overhead
+        frame = Frame(src_host, src_port, dst_host, dst_port, payload, size,
+                      channel=channel, sent_at=self.sim.now)
+        if src_host == dst_host:
+            # Loopback: no links, no transmission, immediate local delivery.
+            self.sim.spawn(self._deliver_local(frame), name="loopback")
+        else:
+            path = self.route(src_host, dst_host)
+            self.sim.spawn(self._deliver(frame, path),
+                           name=f"deliver-{frame.frame_id}")
+        return frame
+
+    def _deliver_local(self, frame: Frame):
+        yield self.sim.timeout(0.0)
+        self._hand_off(frame)
+
+    def _deliver(self, frame: Frame, path: List[str]):
+        for a, b in zip(path, path[1:]):
+            link = self.link_between(a, b)
+            yield from link.transmit(a, frame.size)
+            self.trace.record(link, frame)
+        self._hand_off(frame)
+
+    def _hand_off(self, frame: Frame) -> None:
+        host = self.hosts[frame.dst_host]
+        inbox = host.ports.get(frame.dst_port)
+        frame.delivered_at = self.sim.now
+        if inbox is None:
+            # Port not bound: the frame is dropped, like a TCP RST. Higher
+            # layers see it as a timeout. Kept visible for diagnosability.
+            self.dropped.append(frame)
+            return
+        inbox.put(frame)

@@ -1,0 +1,80 @@
+"""Traffic accounting.
+
+Counts every frame on every hop, split by link kind (LAN/WAN) and by wire
+channel.  Experiment E4 reads ``wan_messages`` / ``wan_bytes`` to show the
+paper's claim that the peer-to-peer server network sends *one* message to a
+remote server instead of one per remote client (§5.2.3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+    from repro.net.network import Frame
+
+
+@dataclass
+class LinkCounter:
+    """Per-link totals."""
+
+    messages: int = 0
+    bytes: int = 0
+
+
+class TrafficTrace:
+    """Aggregates per-link, per-kind, and per-channel traffic totals."""
+
+    def __init__(self) -> None:
+        self.per_link: Dict[Tuple[str, str], LinkCounter] = defaultdict(LinkCounter)
+        self.per_kind: Dict[str, LinkCounter] = defaultdict(LinkCounter)
+        self.per_channel: Dict[str, LinkCounter] = defaultdict(LinkCounter)
+        self.total = LinkCounter()
+
+    def record(self, link: "Link", frame: "Frame") -> None:
+        """Count one frame crossing one link."""
+        key = tuple(sorted(link.ends))
+        for counter in (self.per_link[key], self.per_kind[link.kind],
+                        self.per_channel[frame.channel], self.total):
+            counter.messages += 1
+            counter.bytes += frame.size
+
+    # -- convenience views used by the benchmarks -------------------------
+    @property
+    def wan_messages(self) -> int:
+        return self.per_kind["wan"].messages
+
+    @property
+    def wan_bytes(self) -> int:
+        return self.per_kind["wan"].bytes
+
+    @property
+    def lan_messages(self) -> int:
+        return self.per_kind["lan"].messages
+
+    @property
+    def lan_bytes(self) -> int:
+        return self.per_kind["lan"].bytes
+
+    def reset(self) -> None:
+        """Zero all counters (between benchmark phases)."""
+        self.per_link.clear()
+        self.per_kind.clear()
+        self.per_channel.clear()
+        self.total = LinkCounter()
+
+    def snapshot(self) -> dict:
+        """A plain-dict summary for reports."""
+        return {
+            "total_messages": self.total.messages,
+            "total_bytes": self.total.bytes,
+            "wan_messages": self.wan_messages,
+            "wan_bytes": self.wan_bytes,
+            "lan_messages": self.lan_messages,
+            "lan_bytes": self.lan_bytes,
+            "by_channel": {ch: (c.messages, c.bytes)
+                           for ch, c in sorted(self.per_channel.items())},
+        }

@@ -1,0 +1,205 @@
+"""The ORB: invocation engine and request dispatcher.
+
+One :class:`Orb` per participating host.  It binds a port, runs a dispatcher
+process that demultiplexes incoming :class:`GiopRequest` / :class:`GiopReply`
+frames, and offers :meth:`invoke` — a generator helper callers drive with
+``yield from`` inside their own simulation processes::
+
+    result = yield from orb.invoke(ref, "get_status")
+
+Cost accounting (§6.2): the *caller* pays a marshalling delay proportional
+to the request size; the *server host CPU* is occupied for the CORBA
+dispatch cost of the request, so concurrent invocations queue like they
+would on a real ORB's thread pool.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.net.costs import CostModel
+from repro.orb.adapter import ObjectAdapter
+from repro.orb.errors import (
+    BadOperation,
+    CommFailure,
+    ObjectNotFound,
+    OrbError,
+    RemoteException,
+)
+from repro.orb.giop import (
+    STATUS_OK,
+    STATUS_SYSTEM_EXC,
+    STATUS_USER_EXC,
+    GiopReply,
+    GiopRequest,
+)
+from repro.orb.reference import ObjectRef
+from repro.sim import AnyOf
+from repro.wire import encoded_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+#: the conventional ORB listener port (IIOP's 683)
+DEFAULT_ORB_PORT = 683
+
+_system_exceptions = {
+    "ObjectNotFound": ObjectNotFound,
+    "BadOperation": BadOperation,
+    "CommFailure": CommFailure,
+}
+
+
+class Orb:
+    """An object request broker attached to one simulated host."""
+
+    def __init__(self, host: "Host", port: int = DEFAULT_ORB_PORT,
+                 cost_model: Optional[CostModel] = None) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.port = port
+        self.costs = cost_model or CostModel()
+        self.endpoint = host.bind(port)
+        self.adapter = ObjectAdapter(host.name, port)
+        self._pending: Dict[int, Any] = {}
+        self._req_seq = itertools.count(1)
+        #: bootstrap references (e.g. "NameService", "TradingService")
+        self.initial_references: Dict[str, ObjectRef] = {}
+        #: optional admission hook ``(principal, operation, size) -> None``;
+        #: raising rejects the request with a system exception — the
+        #: enforcement point for §6.3 resource policies
+        self.admission = None
+        self._dispatcher_proc = self.sim.spawn(
+            self._dispatcher(), name=f"orb@{host.name}")
+        self._shut_down = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop dispatching and release the port."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        if self._dispatcher_proc.is_alive:
+            self._dispatcher_proc.interrupt("orb shutdown")
+        self.endpoint.close()
+
+    # -- servant side ----------------------------------------------------------
+    def activate(self, servant: Any, key: Optional[str] = None,
+                 type_id: str = "") -> ObjectRef:
+        """Expose ``servant`` through this ORB; returns its reference."""
+        return self.adapter.activate(servant, key, type_id)
+
+    def deactivate(self, key: str) -> None:
+        """Withdraw a servant."""
+        self.adapter.deactivate(key)
+
+    def resolve_initial(self, name: str) -> ObjectRef:
+        """Look up a bootstrap reference configured at deployment time."""
+        try:
+            return self.initial_references[name]
+        except KeyError:
+            raise ObjectNotFound(f"no initial reference {name!r}") from None
+
+    # -- client side -------------------------------------------------------------
+    def invoke(self, ref: ObjectRef, operation: str, *args: Any,
+               timeout: Optional[float] = None, **kwargs: Any):
+        """Generator helper: invoke ``operation`` on the remote ``ref``.
+
+        Use as ``result = yield from orb.invoke(ref, "op", ...)``.  Raises
+        the mapped system exception, or :class:`RemoteException` for errors
+        raised inside the servant.  ``timeout`` (virtual seconds) turns a
+        missing reply into :class:`CommFailure`.
+        """
+        req_id = next(self._req_seq)
+        req = GiopRequest(req_id, ref.object_key, operation,
+                          tuple(args), dict(kwargs),
+                          reply_host=self.host.name, reply_port=self.port)
+        # Client-side stub marshalling delay.
+        marshal = self.costs.corba_per_byte * encoded_size(req)
+        if marshal > 0:
+            yield self.sim.timeout(marshal)
+        waiter = self.sim.event()
+        self._pending[req_id] = waiter
+        self.endpoint.send(ref.host, ref.port, req, channel="corba")
+        try:
+            if timeout is None:
+                reply = yield waiter
+            else:
+                expiry = self.sim.timeout(timeout)
+                fired = yield AnyOf(self.sim, [waiter, expiry])
+                if waiter not in fired:
+                    raise CommFailure(
+                        f"invoke {ref.object_key}.{operation} timed out "
+                        f"after {timeout}s")
+                reply = fired[waiter]
+        finally:
+            self._pending.pop(req_id, None)
+        return self._unpack_reply(ref, operation, reply)
+
+    def invoke_oneway(self, ref: ObjectRef, operation: str, *args: Any,
+                      **kwargs: Any) -> None:
+        """Fire-and-forget invocation (no reply, no exceptions back)."""
+        req = GiopRequest(next(self._req_seq), ref.object_key, operation,
+                          tuple(args), dict(kwargs), oneway=True)
+        self.endpoint.send(ref.host, ref.port, req, channel="corba")
+
+    @staticmethod
+    def _unpack_reply(ref: ObjectRef, operation: str, reply: GiopReply) -> Any:
+        if reply.status == STATUS_OK:
+            return reply.result
+        if reply.status == STATUS_SYSTEM_EXC:
+            exc_cls = _system_exceptions.get(reply.exc_type, OrbError)
+            raise exc_cls(f"{ref.object_key}.{operation}: {reply.exc_message}")
+        raise RemoteException(reply.exc_type, reply.exc_message)
+
+    # -- dispatcher ------------------------------------------------------------
+    def _dispatcher(self):
+        from repro.sim import Interrupt
+        try:
+            while True:
+                frame = yield self.endpoint.recv()
+                payload = frame.payload
+                if isinstance(payload, GiopReply):
+                    waiter = self._pending.get(payload.request_id)
+                    if waiter is not None and not waiter.triggered:
+                        waiter.succeed(payload)
+                    # Late replies (after timeout) are dropped silently.
+                elif isinstance(payload, GiopRequest):
+                    self.sim.spawn(
+                        self._serve(payload, frame.size, frame.src_host),
+                        name=f"serve-{payload.object_key}.{payload.operation}")
+                # Anything else on the ORB port is ignored (port scan etc.)
+        except Interrupt:
+            return
+
+    def _serve(self, req: GiopRequest, size: int, src_host: str = ""):
+        # Server-side dispatch occupies the host CPU.
+        yield from self.host.use_cpu(self.costs.corba_cost(size))
+        status, result, exc_type, exc_msg = STATUS_OK, None, "", ""
+        try:
+            if self.admission is not None:
+                self.admission(src_host, req.operation, size)
+            servant = self.adapter.servant(req.object_key)
+            op = getattr(servant, req.operation, None)
+            if op is None or req.operation.startswith("_") or not callable(op):
+                raise BadOperation(
+                    f"{type(servant).__name__} has no operation "
+                    f"{req.operation!r}")
+            outcome = op(*req.args, **req.kwargs)
+            if inspect.isgenerator(outcome):
+                result = yield from outcome
+            else:
+                result = outcome
+        except (ObjectNotFound, BadOperation, CommFailure) as exc:
+            status = STATUS_SYSTEM_EXC
+            exc_type, exc_msg = type(exc).__name__, str(exc)
+        except Exception as exc:  # noqa: BLE001 - servant errors cross the wire
+            status = STATUS_USER_EXC
+            exc_type, exc_msg = type(exc).__name__, str(exc)
+        if req.oneway:
+            return
+        reply = GiopReply(req.request_id, status, result, exc_type, exc_msg)
+        self.endpoint.send(req.reply_host, req.reply_port, reply,
+                           channel="corba")

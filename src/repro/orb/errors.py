@@ -1,0 +1,32 @@
+"""ORB exception hierarchy (the subset of CORBA system exceptions we need)."""
+
+from __future__ import annotations
+
+
+class OrbError(Exception):
+    """Base class for all ORB-level failures."""
+
+
+class ObjectNotFound(OrbError):
+    """The object key (or name) does not resolve to an active servant."""
+
+
+class BadOperation(OrbError):
+    """The servant has no such operation (CORBA BAD_OPERATION)."""
+
+
+class CommFailure(OrbError):
+    """The invocation could not complete (timeout / unreachable peer)."""
+
+
+class RemoteException(OrbError):
+    """The servant raised; the original error crosses the wire as text.
+
+    CORBA user exceptions would be typed; our mini-ORB forwards the remote
+    exception class name and message, which is all the middleware needs.
+    """
+
+    def __init__(self, exc_type: str, message: str) -> None:
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type
+        self.message = message

@@ -1,0 +1,55 @@
+"""The ORB's wire protocol (GIOP, abridged).
+
+Two message types with request-id correlation.  Replies carry one of three
+status codes, mirroring GIOP's NO_EXCEPTION / USER_EXCEPTION /
+SYSTEM_EXCEPTION trichotomy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.wire.serialize import register_codec
+
+STATUS_OK = "ok"
+STATUS_USER_EXC = "user_exception"
+STATUS_SYSTEM_EXC = "system_exception"
+
+
+@register_codec
+class GiopRequest:
+    """One remote invocation: target object key, operation, arguments."""
+
+    def __init__(self, request_id: int, object_key: str, operation: str,
+                 args: tuple = (), kwargs: Optional[dict] = None,
+                 reply_host: str = "", reply_port: int = 0,
+                 oneway: bool = False) -> None:
+        self.request_id = request_id
+        self.object_key = object_key
+        self.operation = operation
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.reply_host = reply_host
+        self.reply_port = reply_port
+        self.oneway = oneway
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<GiopRequest #{self.request_id} "
+                f"{self.object_key}.{self.operation}>")
+
+
+@register_codec
+class GiopReply:
+    """The reply to a request: status + result (or error description)."""
+
+    def __init__(self, request_id: int, status: str = STATUS_OK,
+                 result: Any = None, exc_type: str = "",
+                 exc_message: str = "") -> None:
+        self.request_id = request_id
+        self.status = status
+        self.result = result
+        self.exc_type = exc_type
+        self.exc_message = exc_message
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<GiopReply #{self.request_id} {self.status}>"

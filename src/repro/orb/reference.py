@@ -1,0 +1,41 @@
+"""Interoperable-object-reference stand-in.
+
+An :class:`ObjectRef` names a servant activated at some ORB: the host and
+port the ORB listens on plus the object key inside its adapter.  References
+are plain wire-encodable values, so they can be returned from naming/trader
+lookups and passed between servers — which is exactly how DISCOVER servers
+hand each other ``CorbaProxy`` references (§5.1.1).
+"""
+
+from __future__ import annotations
+
+from repro.wire.serialize import register_codec
+
+
+@register_codec
+class ObjectRef:
+    """A remote object reference: ``(host, port, object_key)``.
+
+    ``type_id`` is advisory (like a CORBA repository id) and lets receivers
+    sanity-check what interface they expect.
+    """
+
+    def __init__(self, host: str, port: int, object_key: str,
+                 type_id: str = "") -> None:
+        self.host = host
+        self.port = port
+        self.object_key = object_key
+        self.type_id = type_id
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ObjectRef)
+                and self.host == other.host
+                and self.port == other.port
+                and self.object_key == other.object_key)
+
+    def __hash__(self) -> int:
+        return hash((self.host, self.port, self.object_key))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tid = f" [{self.type_id}]" if self.type_id else ""
+        return f"<ObjectRef {self.object_key}@{self.host}:{self.port}{tid}>"

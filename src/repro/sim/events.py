@@ -1,0 +1,180 @@
+"""One-shot events that processes wait on.
+
+An event goes through three states: *pending* (created, not yet fired),
+*triggered* (scheduled on the event heap), and *processed* (its callbacks
+have run).  Processes wait on an event by ``yield``-ing it; the kernel adds
+the process's resume callback to the event.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+from repro.sim.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+PENDING = object()
+"""Sentinel for the value of an event that has not fired yet."""
+
+
+class SimEvent:
+    """A one-shot occurrence in virtual time, carrying a value.
+
+    Events may *succeed* (carry a value) or *fail* (carry an exception, which
+    is re-raised inside any process waiting on the event).  Both transitions
+    are final; triggering an event twice is an error.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: callbacks run when the event is processed; each receives the event
+        self.callbacks: Optional[List[Callable[["SimEvent"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has fired (value/exception is set)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- transitions ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Fire the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._push_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "SimEvent":
+        """Fire the event with an exception.
+
+        The exception is re-raised in every waiting process.  If *nothing*
+        waits on a failed event by the time it is processed, the kernel
+        re-raises it to surface programming errors (``defused`` suppresses
+        this, mirroring SimPy).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._push_event(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled even if nobody waits on it."""
+        self._defused = True
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at 0x{id(self):x}>"
+
+
+class Timeout(SimEvent):
+    """An event that fires ``delay`` units of virtual time after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._push_event(self, delay=delay)
+
+
+class _Condition(SimEvent):
+    """Base for :class:`AnyOf` / :class:`AllOf` composite waits."""
+
+    __slots__ = ("events", "_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[SimEvent]) -> None:
+        super().__init__(sim)
+        self.events: List[SimEvent] = list(events)
+        self._fired: List[SimEvent] = []
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        # Register interest; events already processed are counted immediately.
+        for ev in self.events:
+            if ev.processed:
+                self._on_fire(ev)
+            else:
+                ev.callbacks.append(self._on_fire)
+        if not self.events and not self.triggered:
+            # Degenerate empty condition fires immediately.
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        """Map each member event that has actually occurred to its value."""
+        return {ev: ev.value for ev in self._fired}
+
+    def _on_fire(self, event: SimEvent) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._fired.append(event)
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires as soon as *any* member event fires.
+
+    Value is a dict ``{event: value}`` of the events fired so far (there may
+    be more than one if several fire at the same instant before callbacks
+    run).
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) >= 1
+
+
+class AllOf(_Condition):
+    """Fires once *all* member events have fired.  Value maps all events."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) >= len(self.events)

@@ -1,0 +1,156 @@
+"""The simulator: a clock and an event heap.
+
+The heap holds *(time, priority, seq, event)* tuples.  ``seq`` is a
+monotonically increasing counter so simultaneous events are processed in
+insertion order — this is what makes the whole reproduction deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.errors import SimulationError, StopSimulation
+from repro.sim.events import SimEvent, Timeout
+from repro.sim.process import Process
+
+#: Default priority for ordinary events.
+NORMAL = 1
+#: Priority used by the kernel for urgent bookkeeping (process resumption).
+URGENT = 0
+
+
+class Simulator:
+    """Discrete-event simulator with virtual time.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def producer(sim, store):
+            for i in range(3):
+                yield sim.timeout(1.0)
+                yield store.put(i)
+
+        store = Store(sim)
+        sim.spawn(producer(sim, store))
+        sim.run()
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, int, SimEvent]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event creation -----------------------------------------------------
+    def event(self) -> SimEvent:
+        """Create a pending event to be triggered manually."""
+        return SimEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` virtual time units."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process driven by ``generator``."""
+        return Process(self, generator, name=name)
+
+    # alias matching SimPy vocabulary
+    process = spawn
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> SimEvent:
+        """Run ``fn()`` at absolute virtual ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"call_at({time}) is in the past (now={self._now})")
+        ev = self.timeout(time - self._now)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> SimEvent:
+        """Run ``fn()`` after ``delay`` virtual time units."""
+        ev = self.timeout(delay)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # -- scheduling (kernel internal) ----------------------------------------
+    def _push_event(self, event: SimEvent, delay: float = 0.0,
+                    priority: int = NORMAL) -> None:
+        """Put a triggered event on the heap for processing."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    # -- running -------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event.ok and not event.defused:
+            # A failed event nobody waited on: surface the error.
+            exc = event.value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the schedule is empty, a time, or an event.
+
+        ``until`` may be ``None`` (drain everything), a number (absolute
+        virtual time to stop at), or a :class:`SimEvent` (stop when it has
+        been processed; its value is returned).
+        """
+        stop_event: Optional[SimEvent] = None
+        if until is None:
+            pass
+        elif isinstance(until, SimEvent):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+            stop_event.callbacks.append(self._stop_on_event)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise SimulationError(
+                    f"run(until={at}) is in the past (now={self._now})")
+            # A plain marker event at the stop time.
+            marker = self.timeout(at - self._now)
+            stop_event = marker
+            marker.callbacks.append(self._stop_on_event)
+
+        try:
+            while self._heap:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if stop_event is not None and not stop_event.processed:
+            raise SimulationError(
+                "run() schedule drained before the `until` event fired")
+        return None
+
+    @staticmethod
+    def _stop_on_event(event: SimEvent) -> None:
+        if not event.ok:
+            # Surface the failure (e.g. an exception escaping the process
+            # run() was waiting on) instead of silently returning None.
+            event.defuse()
+            raise event.value
+        raise StopSimulation(event.value)

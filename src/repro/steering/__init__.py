@@ -1,0 +1,47 @@
+"""Application-side steering substrate — DISCOVER's control network.
+
+The paper's back end is "a control network of sensors, actuators, and
+interaction agents superimposed on the application" (§4).  This package is
+that library, the part a simulation code links against:
+
+- :class:`SteerableParameter` — a named, validated, steerable value.
+- :class:`Sensor` / :class:`Actuator` — read-only views and imperative
+  hooks into application state.
+- :class:`ControlNetwork` — the per-application registry of all three,
+  with the interface descriptor that gets advertised on registration.
+- :class:`InteractionAgent` — executes steering commands against the
+  control network.
+- :class:`SteerableApplication` — base class running the compute /
+  interaction phase lifecycle and speaking the custom TCP channel protocol
+  to its home server (registration, periodic updates, command responses).
+"""
+
+from repro.steering.actuators import Actuator
+from repro.steering.agents import InteractionAgent
+from repro.steering.application import AppConfig, SteerableApplication
+from repro.steering.controlnet import ControlNetwork, SteeringError
+from repro.steering.lifecycle import (
+    COMPUTING,
+    INTERACTING,
+    PAUSED,
+    REGISTERING,
+    STOPPED,
+)
+from repro.steering.parameters import SteerableParameter
+from repro.steering.sensors import Sensor
+
+__all__ = [
+    "Actuator",
+    "AppConfig",
+    "COMPUTING",
+    "ControlNetwork",
+    "INTERACTING",
+    "InteractionAgent",
+    "PAUSED",
+    "REGISTERING",
+    "STOPPED",
+    "Sensor",
+    "SteerableApplication",
+    "SteerableParameter",
+    "SteeringError",
+]

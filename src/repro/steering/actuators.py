@@ -1,0 +1,33 @@
+"""Actuators: imperative hooks that change application state."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Actuator:
+    """A named operation a steering client may invoke on the application.
+
+    Unlike parameter writes (single validated values), actuators are
+    verbs — "inject tracer at (x, y)", "write checkpoint", "rescale mesh".
+    The handler receives keyword arguments from the command message.
+    """
+
+    def __init__(self, name: str, handler: Callable[..., Any], *,
+                 description: str = "") -> None:
+        if not callable(handler):
+            raise TypeError(f"actuator {name!r} handler must be callable")
+        self.name = name
+        self.handler = handler
+        self.description = description
+
+    def actuate(self, **kwargs: Any) -> Any:
+        """Invoke the actuator."""
+        return self.handler(**kwargs)
+
+    def descriptor(self) -> dict:
+        """Wire-safe description advertised at registration."""
+        return {"name": self.name, "description": self.description}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Actuator {self.name}>"

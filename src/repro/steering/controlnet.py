@@ -1,0 +1,80 @@
+"""The control network: per-application registry of steering hooks."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.steering.actuators import Actuator
+    from repro.steering.parameters import SteerableParameter
+    from repro.steering.sensors import Sensor
+
+
+class SteeringError(Exception):
+    """Invalid steering operation (unknown name, bad value, read-only...)."""
+
+
+class ControlNetwork:
+    """Registry of the sensors, actuators, and parameters of one application.
+
+    The interface descriptor it produces is what the application advertises
+    in its :class:`~repro.wire.RegisterMessage`, and what servers hand to
+    clients so portals can render a steering UI without knowing the
+    application (paper §5.2.2: "a customized interaction/steering interface
+    for the application").
+    """
+
+    def __init__(self) -> None:
+        self.parameters: Dict[str, "SteerableParameter"] = {}
+        self.sensors: Dict[str, "Sensor"] = {}
+        self.actuators: Dict[str, "Actuator"] = {}
+
+    # -- registration ------------------------------------------------------
+    def add_parameter(self, param: "SteerableParameter") -> "SteerableParameter":
+        if param.name in self.parameters:
+            raise SteeringError(f"duplicate parameter {param.name!r}")
+        self.parameters[param.name] = param
+        return param
+
+    def add_sensor(self, sensor: "Sensor") -> "Sensor":
+        if sensor.name in self.sensors:
+            raise SteeringError(f"duplicate sensor {sensor.name!r}")
+        self.sensors[sensor.name] = sensor
+        return sensor
+
+    def add_actuator(self, actuator: "Actuator") -> "Actuator":
+        if actuator.name in self.actuators:
+            raise SteeringError(f"duplicate actuator {actuator.name!r}")
+        self.actuators[actuator.name] = actuator
+        return actuator
+
+    # -- access ------------------------------------------------------------
+    def parameter(self, name: str) -> "SteerableParameter":
+        try:
+            return self.parameters[name]
+        except KeyError:
+            raise SteeringError(f"no parameter {name!r}") from None
+
+    def sensor(self, name: str) -> "Sensor":
+        try:
+            return self.sensors[name]
+        except KeyError:
+            raise SteeringError(f"no sensor {name!r}") from None
+
+    def actuator(self, name: str) -> "Actuator":
+        try:
+            return self.actuators[name]
+        except KeyError:
+            raise SteeringError(f"no actuator {name!r}") from None
+
+    def monitored_views(self) -> Dict[str, Any]:
+        """Current values of all monitored sensors (the update payload)."""
+        return {s.name: s.read() for s in self.sensors.values() if s.monitored}
+
+    def interface_descriptor(self) -> dict:
+        """The full steering interface, wire-safe."""
+        return {
+            "parameters": [p.descriptor() for p in self.parameters.values()],
+            "sensors": [s.descriptor() for s in self.sensors.values()],
+            "actuators": [a.descriptor() for a in self.actuators.values()],
+        }

@@ -1,0 +1,9 @@
+"""Application lifecycle states."""
+
+REGISTERING = "registering"
+COMPUTING = "computing"
+INTERACTING = "interacting"
+PAUSED = "paused"
+STOPPED = "stopped"
+
+ALL_STATES = (REGISTERING, COMPUTING, INTERACTING, PAUSED, STOPPED)

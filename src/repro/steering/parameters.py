@@ -1,0 +1,80 @@
+"""Steerable parameters: named, typed, range-validated values."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.steering.controlnet import SteeringError
+
+
+class SteerableParameter:
+    """One application knob exposed for interactive steering.
+
+    Parameters carry optional bounds and an optional ``on_change`` callback
+    so the owning application reacts immediately (e.g. rebuild a matrix when
+    the timestep changes).
+    """
+
+    def __init__(self, name: str, value: Any, *, units: str = "",
+                 minimum: Optional[float] = None,
+                 maximum: Optional[float] = None,
+                 read_only: bool = False,
+                 description: str = "",
+                 on_change: Optional[Callable[[Any], None]] = None) -> None:
+        self.name = name
+        self.units = units
+        self.minimum = minimum
+        self.maximum = maximum
+        self.read_only = read_only
+        self.description = description
+        self.on_change = on_change
+        self._value = None
+        self._type = type(value)
+        self._assign(value, initial=True)
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def set(self, value: Any) -> Any:
+        """Validate and assign; returns the new value."""
+        if self.read_only:
+            raise SteeringError(f"parameter {self.name!r} is read-only")
+        return self._assign(value)
+
+    def _assign(self, value: Any, initial: bool = False) -> Any:
+        # ints may widen to floats, nothing else changes type
+        if not initial:
+            if isinstance(self._value, float) and isinstance(value, int):
+                value = float(value)
+            elif not isinstance(value, self._type):
+                raise SteeringError(
+                    f"parameter {self.name!r} expects "
+                    f"{self._type.__name__}, got {type(value).__name__}")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if self.minimum is not None and value < self.minimum:
+                raise SteeringError(
+                    f"{self.name}={value} below minimum {self.minimum}")
+            if self.maximum is not None and value > self.maximum:
+                raise SteeringError(
+                    f"{self.name}={value} above maximum {self.maximum}")
+        self._value = value
+        if not initial and self.on_change is not None:
+            self.on_change(value)
+        return value
+
+    def descriptor(self) -> dict:
+        """The wire-safe description advertised at registration."""
+        return {
+            "name": self.name,
+            "value": self._value,
+            "type": self._type.__name__,
+            "units": self.units,
+            "min": self.minimum,
+            "max": self.maximum,
+            "read_only": self.read_only,
+            "description": self.description,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SteerableParameter {self.name}={self._value!r}>"

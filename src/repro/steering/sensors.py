@@ -1,0 +1,41 @@
+"""Sensors: read-only views into application state."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Sensor:
+    """A named, callable view of application state.
+
+    ``reader`` is invoked at read time so the value is always current.
+    ``monitored`` sensors are included in every periodic update the
+    application pushes to its server (the MainChannel payload).
+    """
+
+    def __init__(self, name: str, reader: Callable[[], Any], *,
+                 units: str = "", monitored: bool = False,
+                 description: str = "") -> None:
+        if not callable(reader):
+            raise TypeError(f"sensor {name!r} reader must be callable")
+        self.name = name
+        self.reader = reader
+        self.units = units
+        self.monitored = monitored
+        self.description = description
+
+    def read(self) -> Any:
+        """Sample the sensor."""
+        return self.reader()
+
+    def descriptor(self) -> dict:
+        """Wire-safe description advertised at registration."""
+        return {
+            "name": self.name,
+            "units": self.units,
+            "monitored": self.monitored,
+            "description": self.description,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Sensor {self.name}>"

@@ -1,0 +1,36 @@
+"""HTTP + servlet-container tier.
+
+DISCOVER's interaction/collaboration server "builds on a commodity web
+server, and extends its functionality using Java servlets" (§4.1); clients
+connect "using standard HTTP communication using a series of HTTP GET and
+POST requests", which "necessitates a poll and pull mechanism for fetching
+the data from the server" (§6.2).
+
+This package rebuilds that tier for the simulated network:
+
+- :class:`HttpRequest` / :class:`HttpResponse` — the request/response model
+  with cookies and status codes.
+- :class:`HttpSession` / :class:`SessionManager` — server-side sessions.
+- :class:`Servlet` / :class:`ServletContainer` — path-routed handlers
+  hosted on a simulated host; every request charges the host CPU the HTTP
+  service cost (the paper's "wide deployment over performance" trade-off).
+- :class:`HttpClient` — the browser stand-in: issues requests, keeps its
+  session cookie, and polls.
+"""
+
+from repro.web.client import HttpClient, HttpError
+from repro.web.container import ServletContainer
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.servlet import Servlet
+from repro.web.session import HttpSession, SessionManager
+
+__all__ = [
+    "HttpClient",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpSession",
+    "Servlet",
+    "ServletContainer",
+    "SessionManager",
+]

@@ -1,0 +1,129 @@
+"""The servlet container: a web server on a simulated host.
+
+Request lifecycle per the paper's commodity web-server tier: accept →
+(create or resolve session) → charge the host CPU the HTTP service cost →
+route by path prefix → run the servlet → reply to the caller's endpoint.
+Concurrent requests queue on the host CPU, which is what saturates a server
+past ~20 polling clients (experiment E2).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.net.costs import CostModel
+from repro.web.http import NOT_FOUND, SERVER_ERROR, HttpRequest, HttpResponse
+from repro.web.servlet import Servlet
+from repro.web.session import SessionManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+#: conventional HTTP port
+DEFAULT_HTTP_PORT = 80
+
+
+class ServletContainer:
+    """A web server hosting mounted servlets."""
+
+    def __init__(self, host: "Host", port: int = DEFAULT_HTTP_PORT,
+                 cost_model: Optional[CostModel] = None,
+                 session_timeout: float = 1800.0) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.port = port
+        self.costs = cost_model or CostModel()
+        self.endpoint = host.bind(port)
+        self.sessions = SessionManager(timeout=session_timeout)
+        self._servlets: Dict[str, Servlet] = {}
+        self._acceptor = self.sim.spawn(self._accept_loop(),
+                                        name=f"http@{host.name}")
+        self._stopped = False
+        self._last_sweep = self.sim.now
+        #: requests served, for utilisation reports
+        self.requests_served = 0
+        #: sessions expired by the amortized sweep
+        self.sessions_expired = 0
+
+    # -- configuration ---------------------------------------------------
+    def mount(self, path: str, servlet: Servlet) -> Servlet:
+        """Mount ``servlet`` at ``path`` (longest-prefix routing)."""
+        if not path.startswith("/"):
+            raise ValueError("mount path must start with '/'")
+        if path in self._servlets:
+            raise ValueError(f"path {path!r} already mounted")
+        servlet.mount_path = path
+        self._servlets[path] = servlet
+        servlet.init(self)
+        return servlet
+
+    def servlet_for(self, path: str) -> Optional[Servlet]:
+        """Longest-prefix match over mounted servlets."""
+        best = None
+        best_len = -1
+        for prefix, servlet in self._servlets.items():
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                if len(prefix) > best_len:
+                    best, best_len = servlet, len(prefix)
+        return best
+
+    def stop(self) -> None:
+        """Shut the container down and release the port."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._acceptor.is_alive:
+            self._acceptor.interrupt("container stop")
+        self.endpoint.close()
+
+    # -- request handling ---------------------------------------------------
+    def _accept_loop(self):
+        from repro.sim import Interrupt
+        try:
+            while True:
+                frame = yield self.endpoint.recv()
+                if isinstance(frame.payload, HttpRequest):
+                    self.sim.spawn(
+                        self._handle(frame),
+                        name=f"req-{frame.payload.request_id}")
+        except Interrupt:
+            return
+
+    def _sweep_sessions(self) -> None:
+        """Amortized expiry: sweep stale sessions at most every quarter
+        timeout, piggybacked on request handling (keeps the event loop
+        free of perpetual timers so ``sim.run()`` still terminates)."""
+        if self.sim.now - self._last_sweep >= self.sessions.timeout / 4.0:
+            self._last_sweep = self.sim.now
+            self.sessions_expired += self.sessions.expire_stale(self.sim.now)
+
+    def _handle(self, frame):
+        self._sweep_sessions()
+        request: HttpRequest = frame.payload
+        session = self.sessions.resolve(request.cookie, self.sim.now)
+        new_session = session is None
+        if new_session:
+            session = self.sessions.create(self.sim.now)
+        # Accept + servlet-engine dispatch cost on this host's CPU.
+        yield from self.host.use_cpu(
+            self.costs.http_cost(frame.size, new_session=new_session))
+        servlet = self.servlet_for(request.path)
+        if servlet is None:
+            response = HttpResponse(request.request_id, NOT_FOUND,
+                                    {"error": f"no servlet at {request.path}"})
+        else:
+            try:
+                outcome = servlet.service(request, session)
+                if inspect.isgenerator(outcome):
+                    outcome = yield from outcome
+                response = Servlet.normalize(request, outcome)
+            except Exception as exc:  # noqa: BLE001 - servlet errors -> 500
+                response = HttpResponse(request.request_id, SERVER_ERROR,
+                                        {"error": f"{type(exc).__name__}: "
+                                                  f"{exc}"})
+        if new_session:
+            response.set_cookie = session.session_id
+        self.requests_served += 1
+        self.endpoint.send(frame.src_host, frame.src_port, response,
+                           channel="response")

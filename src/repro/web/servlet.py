@@ -1,0 +1,61 @@
+"""Servlet base class.
+
+A servlet handles requests routed to its path prefix.  ``do_get`` /
+``do_post`` may be plain methods returning an :class:`HttpResponse` body
+tuple, or generator functions (simulation processes) when handling needs
+virtual time (e.g. forwarding to a remote server) — the container runs
+either.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.web.http import BAD_REQUEST, HttpRequest, HttpResponse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.web.container import ServletContainer
+    from repro.web.session import HttpSession
+
+
+class Servlet:
+    """Base servlet: routes by HTTP method, subclasses override handlers.
+
+    Handlers return either an :class:`HttpResponse`-compatible result —
+    ``(status, body)`` or just ``body`` (implying 200) — or a generator
+    producing that result.
+    """
+
+    #: path prefix this servlet is mounted at (set by the container)
+    mount_path: str = ""
+    container: "ServletContainer | None" = None
+
+    def init(self, container: "ServletContainer") -> None:
+        """Called once when mounted; override to grab resources."""
+        self.container = container
+
+    def service(self, request: HttpRequest, session: "HttpSession"):
+        """Dispatch to ``do_get`` / ``do_post``."""
+        if request.method == "GET":
+            return self.do_get(request, session)
+        return self.do_post(request, session)
+
+    def do_get(self, request: HttpRequest, session: "HttpSession"):
+        return (BAD_REQUEST, {"error": f"GET not supported on "
+                                       f"{self.mount_path}"})
+
+    def do_post(self, request: HttpRequest, session: "HttpSession"):
+        return (BAD_REQUEST, {"error": f"POST not supported on "
+                                       f"{self.mount_path}"})
+
+    @staticmethod
+    def normalize(request: HttpRequest, result: Any) -> HttpResponse:
+        """Turn a handler result into an :class:`HttpResponse`."""
+        if isinstance(result, HttpResponse):
+            result.request_id = request.request_id
+            return result
+        if (isinstance(result, tuple) and len(result) == 2
+                and isinstance(result[0], int)):
+            status, body = result
+            return HttpResponse(request.request_id, status, body)
+        return HttpResponse(request.request_id, 200, result)

@@ -1,0 +1,55 @@
+"""Wire formats: serialization and typed messages.
+
+DISCOVER moved Java objects between tiers (servlet responses, CORBA
+requests); clients told Response, Error and Update messages apart "using
+Java's reflection mechanism, by querying the received object for its class
+name" (paper §4.1).  We reproduce both halves:
+
+- :mod:`repro.wire.serialize` — a self-describing binary encoding used to
+  compute *realistic byte sizes* for every message that crosses the simulated
+  network (and exercised as a real codec: decode(encode(x)) == x).
+- :mod:`repro.wire.messages` — the typed message hierarchy; receivers
+  dispatch on ``type(msg).__name__`` exactly like the paper's clients.
+"""
+
+from repro.wire.messages import (
+    AckMessage,
+    ChatMessage,
+    CommandMessage,
+    ControlMessage,
+    ErrorMessage,
+    LockMessage,
+    Message,
+    RegisterMessage,
+    ResponseMessage,
+    UpdateMessage,
+    WhiteboardMessage,
+    message_type_name,
+)
+from repro.wire.serialize import (
+    SerializationError,
+    decode,
+    encode,
+    encoded_size,
+    register_codec,
+)
+
+__all__ = [
+    "AckMessage",
+    "ChatMessage",
+    "CommandMessage",
+    "ControlMessage",
+    "ErrorMessage",
+    "LockMessage",
+    "Message",
+    "RegisterMessage",
+    "ResponseMessage",
+    "SerializationError",
+    "UpdateMessage",
+    "WhiteboardMessage",
+    "decode",
+    "encode",
+    "encoded_size",
+    "message_type_name",
+    "register_codec",
+]

@@ -1,0 +1,259 @@
+"""Numerics and steering-surface tests for the demonstration applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    Heat2DApp,
+    OilReservoirApp,
+    RelativityApp,
+    SeismicApp,
+    SyntheticApp,
+)
+from repro.net import Network
+from repro.sim import Simulator
+
+
+def make(cls, **kwargs):
+    sim = Simulator()
+    net = Network(sim)
+    host = net.add_host("apphost")
+    net.add_host("srv")
+    net.add_link("apphost", "srv", 0.001)
+    return cls(host, "unit", "srv", **kwargs)
+
+
+def run_steps(app, n):
+    for i in range(n):
+        app.step(app.step_index)
+        app.step_index += 1
+
+
+# ------------------------------ reservoir ------------------------------
+
+def test_reservoir_front_advances_monotonically():
+    app = make(OilReservoirApp, cells=100)
+    fronts = []
+    for _ in range(6):
+        run_steps(app, 100)
+        fronts.append(app._front_position())
+    assert fronts == sorted(fronts)
+    assert fronts[-1] > fronts[0]
+
+
+def test_reservoir_saturation_stays_physical():
+    app = make(OilReservoirApp, cells=80)
+    run_steps(app, 2000)
+    assert np.all(app.saturation >= 0.1 - 1e-12)
+    assert np.all(app.saturation <= 0.9 + 1e-12)
+
+
+def test_reservoir_water_cut_rises_after_breakthrough():
+    app = make(OilReservoirApp, cells=60)
+    early = app._water_cut()
+    run_steps(app, 3000)
+    late = app._water_cut()
+    assert early < 0.01
+    assert late > 0.5
+
+
+def test_reservoir_oil_in_place_decreases():
+    app = make(OilReservoirApp, cells=60)
+    before = app._oil_in_place()
+    run_steps(app, 500)
+    assert app._oil_in_place() < before
+
+
+def test_reservoir_injection_rate_steering_changes_speed():
+    slow = make(OilReservoirApp, cells=100)
+    fast = make(OilReservoirApp, cells=100)
+    slow.injection_rate.set(0.1)
+    fast.injection_rate.set(0.6)
+    run_steps(slow, 400)
+    run_steps(fast, 400)
+    assert fast._front_position() > slow._front_position()
+
+
+def test_reservoir_tracer_actuator():
+    app = make(OilReservoirApp, cells=50)
+    result = app.control.actuator("inject_tracer").actuate(amount=2.0)
+    assert result["tracer_total"] == pytest.approx(2.0)
+    run_steps(app, 10)
+    # tracer advects away from the injector and decays
+    assert app.tracer[0] < 2.0
+    assert app.tracer.sum() < 2.0
+
+
+def test_reservoir_interface_exposes_paper_knobs():
+    app = make(OilReservoirApp)
+    desc = app.control.interface_descriptor()
+    names = {p["name"] for p in desc["parameters"]}
+    assert {"injection_rate", "mobility_ratio"} <= names
+    assert {s["name"] for s in desc["sensors"]} >= {
+        "water_cut", "oil_in_place", "front_position"}
+
+
+# -------------------------------- heat2d ---------------------------------
+
+def test_heat_source_injects_energy():
+    app = make(Heat2DApp, n=16)
+    run_steps(app, 10)
+    assert app.field.sum() > 0
+    assert app.field.max() == app.field[app.source_pos]
+
+
+def test_heat_diffusion_spreads():
+    app = make(Heat2DApp, n=48)
+    run_steps(app, 5)
+    warm = lambda: int((app.field > 0.05 * app.field.max()).sum())
+    early = warm()
+    run_steps(app, 300)
+    assert warm() > early
+
+
+def test_heat_energy_bounded_by_radiative_loss():
+    app = make(Heat2DApp, n=16)
+    run_steps(app, 3000)
+    e1 = app.field.sum()
+    run_steps(app, 3000)
+    e2 = app.field.sum()
+    # approaches steady state instead of diverging
+    assert abs(e2 - e1) / e1 < 0.05
+
+
+def test_heat_move_source_actuator_validates():
+    app = make(Heat2DApp, n=16)
+    app.control.actuator("move_source").actuate(i=3, j=4)
+    assert app.source_pos == (3, 4)
+    with pytest.raises(ValueError):
+        app.control.actuator("move_source").actuate(i=99, j=0)
+
+
+def test_heat_quench_zeroes_field():
+    app = make(Heat2DApp, n=16)
+    run_steps(app, 20)
+    removed = app.control.actuator("quench").actuate()
+    assert removed["energy_removed"] > 0
+    assert app.field.sum() == 0.0
+
+
+def test_heat_diffusivity_bounds_protect_stability():
+    from repro.steering import SteeringError
+    app = make(Heat2DApp, n=16)
+    with pytest.raises(SteeringError):
+        app.diffusivity.set(0.5)  # above the stable limit
+
+
+# -------------------------------- seismic ----------------------------------
+
+def test_seismic_quiet_until_shot():
+    app = make(SeismicApp, cells=100)
+    run_steps(app, 50)
+    assert float(np.abs(app.u).max()) == 0.0
+    app.control.actuator("fire_shot").actuate(position=10)
+    run_steps(app, 50)
+    assert float(np.abs(app.u).max()) > 0.0
+
+
+def test_seismic_wave_propagates_toward_receivers():
+    app = make(SeismicApp, cells=200)
+    app.control.actuator("fire_shot").actuate(position=5, amplitude=1.0)
+    mid = app.receivers[1]
+    seen = False
+    for _ in range(40):
+        run_steps(app, 10)
+        if abs(app.u[mid]) > 1e-4:
+            seen = True
+            break
+    assert seen, "wavefront reached the middle receiver"
+
+
+def test_seismic_damping_attenuates():
+    lively = make(SeismicApp, cells=100)
+    damped = make(SeismicApp, cells=100)
+    damped.damping.set(0.05)
+    for app in (lively, damped):
+        app.control.actuator("fire_shot").actuate(position=50)
+        run_steps(app, 300)
+    rms = lambda a: float(np.sqrt(np.mean(a.u ** 2)))
+    assert rms(damped) < rms(lively)
+
+
+def test_seismic_velocity_steering_retunes_layer():
+    app = make(SeismicApp, cells=100)
+    app.layer_velocity.set(0.3)
+    assert np.all(app.velocity[50:] == 0.3)
+    assert np.all(app.velocity[:50] == 0.4)
+
+
+def test_seismic_shot_position_validated():
+    app = make(SeismicApp, cells=100)
+    with pytest.raises(ValueError):
+        app.control.actuator("fire_shot").actuate(position=500)
+
+
+# ------------------------------- relativity ----------------------------------
+
+def test_relativity_constraint_small_initially():
+    app = make(RelativityApp, points=128)
+    assert app._constraint_norm() < 1e-6
+
+
+def test_relativity_constraint_bounded_with_dissipation():
+    app = make(RelativityApp, points=128)
+    run_steps(app, 500)
+    assert app._constraint_norm() < 1.0
+    assert np.isfinite(app.phi).all()
+
+
+def test_relativity_dissipation_controls_gridscale_noise():
+    """The reason NR codes steer dissipation interactively: with grid-scale
+    noise injected, the undissipated centered-difference run blows up while
+    the dissipated run stays bounded."""
+    raw = make(RelativityApp, points=128)
+    smooth = make(RelativityApp, points=128)
+    raw.dissipation.set(0.0)
+    smooth.dissipation.set(0.1)
+    rng = np.random.default_rng(42)
+    noise = 0.1 * rng.standard_normal(128)
+    raw.pi += noise
+    smooth.pi += noise.copy()
+    run_steps(raw, 400)
+    run_steps(smooth, 400)
+    assert float(np.abs(smooth.phi).max()) < 1.0
+    assert (float(np.abs(raw.phi).max())
+            > 10 * float(np.abs(smooth.phi).max()))
+
+
+def test_relativity_perturb_actuator():
+    app = make(RelativityApp, points=128)
+    e0 = app._energy()
+    app.control.actuator("perturb").actuate(center=0.5, amplitude=0.5)
+    run_steps(app, 10)
+    assert app._energy() > e0
+
+
+def test_relativity_courant_bounds():
+    from repro.steering import SteeringError
+    app = make(RelativityApp, points=64)
+    with pytest.raises(SteeringError):
+        app.courant.set(0.9)
+
+
+# -------------------------------- synthetic ----------------------------------
+
+def test_synthetic_signal_tracks_gain_and_bias():
+    app = make(SyntheticApp)
+    run_steps(app, 10)
+    assert app._signal() == 10.0
+    app.gain.set(2.0)
+    app.control.parameter("bias").set(5)
+    assert app._signal() == 25.0
+
+
+def test_synthetic_payload_size_knob():
+    small = make(SyntheticApp, payload_floats=4)
+    large = make(SyntheticApp, payload_floats=400)
+    from repro.wire import encoded_size
+    assert (encoded_size(large.update_payload())
+            > encoded_size(small.update_payload()) + 3000)

@@ -1,0 +1,98 @@
+"""Tests for the bench harness (report formatting, scenario runners) and
+the CLI."""
+
+import pytest
+
+from repro.bench import format_table, print_experiment
+from repro.bench.scenarios import run_app_scalability, run_client_scalability
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+# ------------------------------- report -------------------------------------
+
+def test_format_table_basic():
+    rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+    out = format_table(rows, ["a", "b"], title="demo")
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert "a" in lines[2] and "b" in lines[2]
+    assert "10" in out
+    assert "0.12" in out  # floats rendered to 2 decimals
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], ["a"], title="empty")
+
+
+def test_format_table_missing_column_blank():
+    out = format_table([{"a": 1}], ["a", "missing"])
+    assert "missing" in out
+
+
+def test_format_table_widths_accommodate_long_values():
+    rows = [{"name": "x" * 30}]
+    out = format_table(rows, ["name"])
+    assert "x" * 30 in out
+
+
+def test_print_experiment_shape(capsys):
+    print_experiment("EX", "a claim", [{"v": 1}], ["v"], finding="done")
+    out = capsys.readouterr().out
+    assert "=== EX ===" in out
+    assert "paper: a claim" in out
+    assert "measured: done" in out
+
+
+# ------------------------------ scenarios ------------------------------------
+
+def test_app_scalability_row_shape():
+    row = run_app_scalability(5, duration=5.0)
+    assert row["n_apps"] == 5
+    assert row["updates_processed"] > 0
+    assert row["mean_lag_ms"] > 0
+    assert not row["saturated"]
+
+
+def test_client_scalability_row_shape():
+    row = run_client_scalability(3, duration=5.0)
+    assert row["n_clients"] == 3
+    assert row["polls"] > 0
+    assert row["mean_rtt_ms"] > 0
+
+
+# --------------------------------- CLI ----------------------------------------
+
+def test_cli_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["run", "E1", "--quick"])
+    assert args.command == "run"
+    assert args.experiment == "E1"
+    assert args.quick
+
+
+def test_cli_experiments_listing(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in EXPERIMENTS:
+        assert exp_id in out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert main(["run", "E99"]) == 2
+
+
+def test_cli_info(capsys):
+    assert main(["info"]) == 0
+    assert "HPDC 2001" in capsys.readouterr().out
+
+
+def test_cli_run_quick_e6(capsys):
+    assert main(["run", "e6", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "local" in out and "remote" in out
+
+
+def test_cli_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "steered gain -> 2.5" in out

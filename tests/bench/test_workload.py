@@ -1,0 +1,38 @@
+"""Unit tests for the workload builders."""
+
+import pytest
+
+from repro import build_single_server
+from repro.bench.workload import bench_app_config, make_app_farm
+
+
+def test_bench_app_config_period():
+    cfg = bench_app_config(update_period=1.0, steps_per_phase=9)
+    # one full phase cycle (steps + interaction window) == the period
+    cycle = cfg.steps_per_phase * cfg.step_time + cfg.interaction_window
+    assert cycle == pytest.approx(1.0)
+
+
+def test_make_app_farm_registers_everything():
+    collab = build_single_server(app_hosts=3)
+    collab.run_bootstrap()
+    apps = make_app_farm(collab, 6, user="bench", update_period=0.5)
+    collab.sim.run(until=3.0)
+    assert len(apps) == 6
+    assert all(a.registered for a in apps)
+    # spread across the domain's app hosts
+    hosts = {a.host.name for a in apps}
+    assert len(hosts) == 3
+    # all accessible to the bench user
+    server = collab.server_of(0)
+    assert len(server.security.accessible_apps("bench")) == 6
+
+
+def test_make_app_farm_payload_size_knob():
+    collab = build_single_server()
+    collab.run_bootstrap()
+    small = make_app_farm(collab, 1, user="u", payload_floats=4)[0]
+    big = make_app_farm(collab, 1, user="u", payload_floats=512)[0]
+    from repro.wire import encoded_size
+    assert (encoded_size(big.update_payload())
+            > encoded_size(small.update_payload()))

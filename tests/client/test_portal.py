@@ -1,0 +1,217 @@
+"""Portal-side behaviours: message filing, groups, views, logout, errors."""
+
+import pytest
+
+from repro import AppConfig, PortalError, build_single_server
+from repro.apps import SyntheticApp
+
+
+def fast_config():
+    return AppConfig(steps_per_phase=2, step_time=0.01,
+                     interaction_window=0.05, command_service_time=0.001)
+
+
+@pytest.fixture
+def site():
+    collab = build_single_server()
+    collab.run_bootstrap()
+    app = collab.add_app(0, SyntheticApp, "wave",
+                         acl={"alice": "write", "bob": "read"},
+                         config=fast_config())
+    collab.sim.run(until=2.0)
+    return collab, app
+
+
+def run(collab, gen):
+    return collab.sim.run(until=collab.sim.spawn(gen))
+
+
+def test_portal_requires_login(site):
+    collab, app = site
+    portal = collab.add_portal(0)
+    with pytest.raises(PortalError):
+        portal._cid()
+
+
+def test_open_unknown_app_fails(site):
+    collab, app = site
+    portal = collab.add_portal(0)
+
+    def scenario():
+        yield from portal.login("alice")
+        try:
+            yield from portal.open("d0-server#a999")
+        except PortalError as exc:
+            return exc.status
+
+    assert run(collab, scenario()) == 403
+
+
+def test_list_apps_refreshes(site):
+    collab, app = site
+    portal = collab.add_portal(0)
+
+    def scenario():
+        first = yield from portal.login("alice")
+        # a second app registers while alice is logged in
+        collab.add_app(0, SyntheticApp, "late-app",
+                       acl={"alice": "read"}, config=fast_config())
+        yield portal.sim.timeout(2.0)
+        second = yield from portal.list_apps()
+        return (len(first), len(second))
+
+    assert run(collab, scenario()) == (1, 2)
+
+
+def test_messages_filed_by_type(site):
+    collab, app = site
+    alice = collab.add_portal(0)
+    bob = collab.add_portal(0)
+
+    def scenario():
+        yield from alice.login("alice")
+        yield from bob.login("bob")
+        a_sess = yield from alice.open(app.app_id)
+        b_sess = yield from bob.open(app.app_id)
+        yield from a_sess.chat("hello")
+        yield from a_sess.draw("circle", [[1, 2], [3, 4]])
+        yield collab.sim.timeout(1.0)
+        yield from bob.poll(max_items=64)
+        return (len(bob.updates), len(bob.chat_log), len(bob.whiteboard))
+
+    updates, chats, drawings = run(collab, scenario())
+    assert updates >= 1
+    assert chats == 1
+    assert drawings == 1
+
+
+def test_share_view_reaches_group_even_with_collab_off(site):
+    collab, app = site
+    alice = collab.add_portal(0)
+    bob = collab.add_portal(0)
+
+    def scenario():
+        yield from alice.login("alice")
+        yield from bob.login("bob")
+        a_sess = yield from alice.open(app.app_id)
+        yield from bob.open(app.app_id)
+        yield from alice.set_collaboration(False)
+        delivered = yield from a_sess.share_view({"roi": [0, 10]})
+        yield collab.sim.timeout(0.5)
+        yield from bob.poll(max_items=64)
+        shared = [u for u in bob.updates
+                  if u.payload == {"roi": [0, 10]}]
+        return (delivered, len(shared))
+
+    delivered, shared = run(collab, scenario())
+    assert delivered == 1
+    assert shared == 1
+
+
+def test_subgroup_chat_is_scoped(site):
+    collab, app = site
+    alice = collab.add_portal(0)
+    bob = collab.add_portal(0)
+
+    def scenario():
+        yield from alice.login("alice")
+        yield from bob.login("bob")
+        a_sess = yield from alice.open(app.app_id)
+        yield from bob.open(app.app_id)
+        members = yield from a_sess.join_group("numerics")
+        assert alice.client_id in members
+        # bob is not in the subgroup: chat there must not reach him
+        yield from a_sess.chat("secret", group="numerics")
+        yield collab.sim.timeout(0.5)
+        yield from bob.poll(max_items=64)
+        return [m.text for m in bob.chat_log]
+
+    assert run(collab, scenario()) == []
+
+
+def test_logout_drops_lock_and_session(site):
+    collab, app = site
+    alice = collab.add_portal(0)
+    bob = collab.add_portal(0)
+
+    def scenario():
+        yield from alice.login("alice")
+        yield from bob.login("bob")
+        a_sess = yield from alice.open(app.app_id)
+        yield from a_sess.acquire_lock()
+        server = collab.server_of(0)
+        holder_before = server.locks.holder_of(app.app_id)
+        yield from alice.logout()
+        holder_after = server.locks.holder_of(app.app_id)
+        sessions = server.collab.session_count()
+        return (holder_before, holder_after, sessions)
+
+    holder_before, holder_after, sessions = run(collab, scenario())
+    assert holder_before is not None
+    assert holder_after is None
+    assert sessions == 1  # only bob remains
+
+
+def test_wait_lock_granted_after_release(site):
+    collab, app = site
+    alice = collab.add_portal(0)
+    bob_portal = collab.add_portal(0)
+    # give bob write access for this test
+    server = collab.server_of(0)
+    server.security.acl_for(app.app_id).grant("bob", "write")
+
+    def alice_holds_then_releases():
+        yield from alice.login("alice")
+        sess = yield from alice.open(app.app_id)
+        yield from sess.acquire_lock()
+        yield collab.sim.timeout(3.0)
+        yield from sess.release_lock()
+
+    def bob_waits():
+        yield from bob_portal.login("bob")
+        sess = yield from bob_portal.open(app.app_id)
+        yield collab.sim.timeout(0.5)  # after alice acquires
+        outcome = yield from sess.wait_lock(timeout=20.0)
+        return (outcome, collab.sim.now)
+
+    collab.sim.spawn(alice_holds_then_releases())
+    proc = collab.sim.spawn(bob_waits())
+    outcome, when = collab.sim.run(until=proc)
+    assert outcome == "granted"
+    assert when >= 3.0  # only after alice released
+
+
+def test_error_message_from_bad_parameter(site):
+    collab, app = site
+    portal = collab.add_portal(0)
+
+    def scenario():
+        yield from portal.login("alice")
+        session = yield from portal.open(app.app_id)
+        yield from session.acquire_lock()
+        try:
+            # gain max is 100 — the app-side agent rejects this
+            yield from session.set_param("gain", 1e9)
+        except PortalError as exc:
+            return str(exc)
+
+    err = run(collab, scenario())
+    assert "steering error" in err
+    assert "above maximum" in err
+
+
+def test_take_response_pops_once(site):
+    collab, app = site
+    portal = collab.add_portal(0)
+
+    def scenario():
+        yield from portal.login("alice")
+        session = yield from portal.open(app.app_id)
+        rid = yield from session.command("get_param", {"name": "gain"})
+        msg = yield from portal.wait_response(rid)
+        again = portal.take_response(rid)
+        return (msg.result, again)
+
+    result, again = run(collab, scenario())
+    assert result == 1.0
+    assert again is None

@@ -1,0 +1,22 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def drive(sim: Simulator, generator):
+    """Run ``generator`` as a process and return its result.
+
+    Runs the simulation until the process finishes (other scheduled work may
+    remain pending).
+    """
+    proc = sim.spawn(generator)
+    return sim.run(until=proc)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()

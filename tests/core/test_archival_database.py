@@ -1,0 +1,129 @@
+"""Unit tests for the record store and the session archive."""
+
+import pytest
+
+from repro.core.archival import SessionArchive
+from repro.core.database import Database, Record, Table
+from repro.sim import Simulator
+
+
+# ------------------------------- database ----------------------------------
+
+def test_insert_and_select_by_owner():
+    tbl = Table("t")
+    tbl.insert("alice", {"v": 1}, created_at=0.0)
+    tbl.insert("bob", {"v": 2}, created_at=1.0)
+    assert [r.data["v"] for r in tbl.select("alice")] == [1]
+    assert [r.data["v"] for r in tbl.select("bob")] == [2]
+
+
+def test_readers_grant_access():
+    tbl = Table("t")
+    tbl.insert("alice", {"v": 1}, created_at=0.0, readers=["bob"])
+    assert [r.data["v"] for r in tbl.select("bob")] == [1]
+    assert tbl.select("carol") == []
+
+
+def test_wildcard_reader():
+    tbl = Table("t")
+    tbl.insert("alice", {"v": 1}, created_at=0.0, readers=["*"])
+    assert len(tbl.select("anyone")) == 1
+
+
+def test_select_predicate_and_limit():
+    tbl = Table("t")
+    for i in range(10):
+        tbl.insert("alice", {"v": i}, created_at=float(i))
+    evens = tbl.select("alice", predicate=lambda r: r.data["v"] % 2 == 0,
+                       limit=3)
+    assert [r.data["v"] for r in evens] == [0, 2, 4]
+
+
+def test_tail():
+    tbl = Table("t")
+    for i in range(10):
+        tbl.insert("alice", {"v": i}, created_at=float(i))
+    assert [r.data["v"] for r in tbl.tail("alice", 3)] == [7, 8, 9]
+
+
+def test_record_ids_unique_and_increasing():
+    tbl = Table("t")
+    r1 = tbl.insert("a", {}, 0.0)
+    r2 = tbl.insert("a", {}, 0.0)
+    assert r2.record_id > r1.record_id
+
+
+def test_database_creates_tables_on_demand():
+    db = Database()
+    t1 = db.table("x")
+    assert db.table("x") is t1
+    db.table("y")
+    assert db.table_names() == ["x", "y"]
+
+
+# ------------------------------- archive -----------------------------------
+
+@pytest.fixture
+def archive(sim):
+    return SessionArchive(sim)
+
+
+def test_interaction_log_and_replay(sim, archive):
+    archive.log_interaction("app-1", "alice", "command",
+                            {"command": "set_param", "request_id": 1})
+    archive.log_interaction("app-1", "alice", "response",
+                            {"request_id": 1})
+    archive.log_interaction("app-2", "alice", "command",
+                            {"command": "pause", "request_id": 2})
+    records = archive.replay_interactions("app-1", "alice")
+    assert [r["kind"] for r in records] == ["command", "response"]
+    assert records[0]["command"] == "set_param"
+    assert archive.interaction_count("app-1") == 2
+    assert archive.interaction_count() == 3
+
+
+def test_replay_respects_ownership(sim, archive):
+    archive.log_interaction("app-1", "alice", "command", {"command": "x"})
+    assert archive.replay_interactions("app-1", "bob") == []
+
+
+def test_replay_with_readers_shares_history(sim, archive):
+    archive.log_interaction("app-1", "alice", "command", {"command": "x"},
+                            readers=["bob"])
+    assert len(archive.replay_interactions("app-1", "bob")) == 1
+
+
+def test_replay_since_filters_by_time(sim, archive):
+    archive.log_interaction("app-1", "alice", "command", {"command": "x"})
+    # advance the clock, then log a second interaction
+    sim.call_later(10.0, lambda: archive.log_interaction(
+        "app-1", "alice", "command", {"command": "y"}))
+    sim.run()
+    early = archive.replay_interactions("app-1", "alice", since=5.0)
+    assert [r["command"] for r in early] == ["y"]
+
+
+def test_app_log_ownership_and_readers(sim, archive):
+    archive.log_app_record("app-1", "owner-user", "update", {"seq": 1},
+                           readers=["alice", "bob"])
+    assert len(archive.replay_app_log("app-1", "alice")) == 1
+    assert len(archive.replay_app_log("app-1", "owner-user")) == 1
+    assert archive.replay_app_log("app-1", "eve") == []
+
+
+def test_latecomer_catchup_returns_recent(sim, archive):
+    for i in range(30):
+        archive.log_interaction("app-1", "alice", "command",
+                                {"command": f"cmd-{i}"}, readers=["*"])
+    recent = archive.latecomer_catchup("app-1", "newcomer", n=5)
+    assert [r["command"] for r in recent] == [
+        "cmd-25", "cmd-26", "cmd-27", "cmd-28", "cmd-29"]
+
+
+def test_catchup_scoped_to_app(sim, archive):
+    archive.log_interaction("app-1", "alice", "command", {"command": "a"},
+                            readers=["*"])
+    archive.log_interaction("app-2", "alice", "command", {"command": "b"},
+                            readers=["*"])
+    recent = archive.latecomer_catchup("app-2", "bob", n=10)
+    assert [r["command"] for r in recent] == ["b"]

@@ -1,0 +1,46 @@
+"""Unit tests for Link validation and arithmetic."""
+
+import pytest
+
+from repro.net import Link
+from repro.sim import Simulator
+
+
+def test_link_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, "a", "b", latency=-0.001)
+    with pytest.raises(ValueError):
+        Link(sim, "a", "b", latency=0.001, bandwidth=0)
+    with pytest.raises(ValueError):
+        Link(sim, "a", "a", latency=0.001)
+
+
+def test_link_other_endpoint():
+    sim = Simulator()
+    link = Link(sim, "a", "b", 0.001)
+    assert link.other("a") == "b"
+    assert link.other("b") == "a"
+    with pytest.raises(ValueError):
+        link.other("c")
+    assert link.ends == ("a", "b")
+
+
+def test_transfer_time():
+    sim = Simulator()
+    link = Link(sim, "a", "b", 0.0, bandwidth=1000.0)
+    assert link.transfer_time(500) == pytest.approx(0.5)
+    infinite = Link(sim, "a", "b", 0.0)
+    assert infinite.transfer_time(10 ** 9) == 0.0
+
+
+def test_transmit_unknown_endpoint_rejected():
+    sim = Simulator()
+    link = Link(sim, "a", "b", 0.001)
+
+    def bad():
+        yield from link.transmit("c", 100)
+
+    proc = sim.spawn(bad())
+    with pytest.raises(KeyError):
+        sim.run(until=proc)

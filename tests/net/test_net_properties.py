@@ -1,0 +1,89 @@
+"""Property tests for the network: conservation, routing, accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Network, build_multi_domain
+from repro.sim import Simulator
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3),
+                          st.integers(0, 5)),
+                min_size=1, max_size=30))
+def test_every_frame_delivered_exactly_once(sends):
+    """Random sends between bound endpoints: all frames arrive, none are
+    duplicated or lost, and latency is never negative."""
+    sim = Simulator()
+    net = Network(sim)
+    rng_ports = {}
+    for i in range(4):
+        net.add_host(f"h{i}")
+    for i in range(4):
+        for j in range(i + 1, 4):
+            net.add_link(f"h{i}", f"h{j}", latency=0.001 * (i + j + 1))
+    endpoints = {}
+    received = []
+    for i in range(4):
+        for p in range(6):
+            ep = net.hosts[f"h{i}"].bind(1000 + p)
+            endpoints[(i, p)] = ep
+
+    def drain(ep):
+        while True:
+            frame = yield ep.recv()
+            received.append(frame)
+
+    for ep in endpoints.values():
+        sim.spawn(drain(ep))
+
+    sent = 0
+    for src, dst, port in sends:
+        if src == dst:
+            continue
+        endpoints[(src, 0)].send(f"h{dst}", 1000 + port, f"m{sent}")
+        sent += 1
+    sim.run(until=10.0)
+    assert len(received) == sent
+    assert len({f.frame_id for f in received}) == sent
+    assert all(f.latency is not None and f.latency >= 0 for f in received)
+    assert net.dropped == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 5))
+def test_route_symmetry_and_triangle_inequality(n_domains):
+    sim = Simulator()
+    net, domains = build_multi_domain(sim, n_domains, 1, 1)
+    names = [d.server.name for d in domains]
+    for a in names:
+        for b in names:
+            if a == b:
+                continue
+            # symmetric latencies on an undirected graph
+            assert net.path_latency(a, b) == pytest.approx(
+                net.path_latency(b, a))
+    # triangle inequality over the shortest-path metric
+    for a in names:
+        for b in names:
+            for c in names:
+                if len({a, b, c}) == 3:
+                    assert (net.path_latency(a, c)
+                            <= net.path_latency(a, b)
+                            + net.path_latency(b, c) + 1e-12)
+
+
+def test_trace_bytes_include_frame_overhead():
+    sim = Simulator()
+    net = Network(sim, frame_overhead=100)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 0.001)
+    src = net.hosts["a"].bind(1)
+    net.hosts["b"].bind(2)
+    frame = src.send("b", 2, b"x" * 50)
+    sim.run()
+    from repro.wire import encoded_size
+    assert frame.size == encoded_size(b"x" * 50) + 100
+    assert net.trace.total.bytes == frame.size

@@ -1,0 +1,81 @@
+"""ORB-level tests for the admission hook (the §6.3 enforcement point)."""
+
+import pytest
+
+from repro.net import Network
+from repro.orb import Orb, RemoteException
+from repro.sim import Simulator
+from tests.conftest import drive
+
+
+class Echo:
+    def echo(self, x):
+        return x
+
+
+def make_pair():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("caller")
+    net.add_host("callee")
+    net.add_link("caller", "callee", 0.001)
+    corb = Orb(net.hosts["caller"])
+    sorb = Orb(net.hosts["callee"])
+    ref = sorb.activate(Echo(), key="echo")
+    return sim, corb, sorb, ref
+
+
+def test_admission_hook_sees_principal_operation_size():
+    sim, corb, sorb, ref = make_pair()
+    seen = []
+    sorb.admission = lambda principal, op, size: seen.append(
+        (principal, op, size))
+
+    def caller():
+        return (yield from corb.invoke(ref, "echo", 42))
+
+    assert drive(sim, caller()) == 42
+    assert len(seen) == 1
+    principal, op, size = seen[0]
+    assert principal == "caller"
+    assert op == "echo"
+    assert size > 0
+
+
+def test_admission_rejection_becomes_remote_exception():
+    sim, corb, sorb, ref = make_pair()
+
+    class Denied(Exception):
+        pass
+
+    def deny(principal, op, size):
+        raise Denied(f"{principal} not welcome")
+
+    sorb.admission = deny
+
+    def caller():
+        try:
+            yield from corb.invoke(ref, "echo", 1)
+        except RemoteException as exc:
+            return exc.exc_type
+
+    assert drive(sim, caller()) == "Denied"
+
+
+def test_admission_applies_to_oneway_too():
+    sim, corb, sorb, ref = make_pair()
+    seen = []
+    sorb.admission = lambda principal, op, size: seen.append(op)
+    corb.invoke_oneway(ref, "echo", 1)
+    sim.run()
+    assert seen == ["echo"]
+
+
+def test_no_admission_hook_admits_everything():
+    sim, corb, sorb, ref = make_pair()
+    assert sorb.admission is None
+
+    def caller():
+        return (yield from corb.invoke(ref, "echo", "ok"))
+
+    assert drive(sim, caller()) == "ok"

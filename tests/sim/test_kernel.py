@@ -1,0 +1,202 @@
+"""Tests for the discrete-event kernel: clock, ordering, run() modes."""
+
+import pytest
+
+from repro.sim import SimEvent, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=100.0)
+    assert sim.now == 100.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        seen.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        v = yield sim.timeout(1.0, value="hello")
+        got.append(v)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_simultaneous_events_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.spawn(proc(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_time_stops_mid_schedule():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+        fired.append("late")
+
+    sim.spawn(proc(sim))
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    # Continuing finishes the process.
+    sim.run()
+    assert fired == ["late"]
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(3.0)
+        return 42
+
+    p = sim.spawn(proc(sim))
+    assert sim.run(until=p) == 42
+    assert sim.now == 3.0
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=5.0)
+
+
+def test_run_until_event_that_never_fires_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run(until=ev)
+
+
+def test_call_later_and_call_at():
+    sim = Simulator()
+    hits = []
+    sim.call_later(2.0, lambda: hits.append(("later", sim.now)))
+    sim.call_at(1.0, lambda: hits.append(("at", sim.now)))
+    sim.run()
+    assert hits == [("at", 1.0), ("later", 2.0)]
+
+
+def test_call_at_in_past_rejected():
+    sim = Simulator(start_time=5.0)
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_manual_event_succeed():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter(sim, ev):
+        got.append((yield ev))
+
+    sim.spawn(waiter(sim, ev))
+    sim.call_later(4.0, lambda: ev.succeed("payload"))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_failed_event_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter(sim, ev))
+    sim.call_later(1.0, lambda: ev.fail(RuntimeError("boom")))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failed_event_surfaces():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("nobody home"))
+    with pytest.raises(RuntimeError, match="nobody home"):
+        sim.run()
+
+
+def test_defused_failed_event_is_silent():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("quiet"))
+    ev.defuse()
+    sim.run()  # does not raise
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_step_on_empty_schedule_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(7.5)
+    assert sim.peek() == 7.5

@@ -1,0 +1,78 @@
+"""Tests for the deterministic RNG tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import DeterministicRNG
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRNG(7)
+    b = DeterministicRNG(7)
+    assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRNG(1)
+    b = DeterministicRNG(2)
+    assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+
+def test_children_are_independent_of_sibling_consumption():
+    root1 = DeterministicRNG(0)
+    a1 = root1.child("clients")
+    _ = [root1.child("apps").exponential(1.0) for _ in range(10)]
+    root2 = DeterministicRNG(0)
+    a2 = root2.child("clients")
+    assert [a1.uniform() for _ in range(5)] == [a2.uniform() for _ in range(5)]
+
+
+def test_child_path_distinguishes_names():
+    root = DeterministicRNG(0)
+    x = root.child("x").uniform()
+    y = root.child("y").uniform()
+    assert x != y
+
+
+def test_nested_children():
+    rng = DeterministicRNG(0).child("a").child("b")
+    assert rng.path == "root/a/b"
+
+
+def test_integers_bounds():
+    rng = DeterministicRNG(3)
+    draws = [rng.integers(0, 10) for _ in range(200)]
+    assert all(0 <= d < 10 for d in draws)
+    assert len(set(draws)) > 3
+
+
+def test_choice():
+    rng = DeterministicRNG(3)
+    seq = ["a", "b", "c"]
+    assert all(rng.choice(seq) in seq for _ in range(20))
+    with pytest.raises(ValueError):
+        rng.choice([])
+
+
+def test_shuffle_is_permutation():
+    rng = DeterministicRNG(3)
+    items = list(range(20))
+    shuffled = items.copy()
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+    assert shuffled != items  # vanishingly unlikely to be identity
+
+
+def test_exponential_positive():
+    rng = DeterministicRNG(3)
+    assert all(rng.exponential(2.0) >= 0 for _ in range(50))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0.1, max_value=1e3),
+       st.floats(min_value=0.0, max_value=0.5))
+def test_jitter_bounds(value, fraction):
+    rng = DeterministicRNG(5)
+    out = rng.jitter(value, fraction)
+    assert value * (1 - fraction) - 1e-9 <= out <= value * (1 + fraction) + 1e-9

@@ -1,0 +1,181 @@
+"""Unit tests for parameters, sensors, actuators, and the control network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.steering import (
+    Actuator,
+    ControlNetwork,
+    Sensor,
+    SteerableParameter,
+    SteeringError,
+)
+
+
+# ------------------------------ parameters -------------------------------
+
+def test_parameter_set_and_read():
+    p = SteerableParameter("dt", 0.1)
+    assert p.value == 0.1
+    assert p.set(0.2) == 0.2
+    assert p.value == 0.2
+
+
+def test_parameter_bounds_enforced():
+    p = SteerableParameter("dt", 0.1, minimum=0.0, maximum=1.0)
+    with pytest.raises(SteeringError):
+        p.set(-0.1)
+    with pytest.raises(SteeringError):
+        p.set(1.5)
+    assert p.value == 0.1  # unchanged after rejected writes
+
+
+def test_parameter_read_only():
+    p = SteerableParameter("n", 64, read_only=True)
+    with pytest.raises(SteeringError):
+        p.set(128)
+
+
+def test_parameter_type_checked():
+    p = SteerableParameter("name", "run-1")
+    with pytest.raises(SteeringError):
+        p.set(42)
+    p.set("run-2")
+
+
+def test_parameter_int_widens_to_float():
+    p = SteerableParameter("x", 1.5)
+    p.set(2)
+    assert p.value == 2.0
+    assert isinstance(p.value, float)
+
+
+def test_parameter_bool_not_treated_as_number():
+    p = SteerableParameter("flag", True)
+    p.set(False)
+    assert p.value is False
+
+
+def test_parameter_on_change_callback():
+    seen = []
+    p = SteerableParameter("dt", 0.1, on_change=seen.append)
+    p.set(0.5)
+    assert seen == [0.5]
+
+
+def test_parameter_descriptor():
+    p = SteerableParameter("dt", 0.1, units="s", minimum=0.0, maximum=1.0,
+                           description="timestep")
+    d = p.descriptor()
+    assert d == {"name": "dt", "value": 0.1, "type": "float", "units": "s",
+                 "min": 0.0, "max": 1.0, "read_only": False,
+                 "description": "timestep"}
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+       st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+def test_parameter_bounds_property(lo, hi):
+    """Any accepted write lies within [min, max]; any out-of-range write
+    raises and leaves the value unchanged."""
+    lo, hi = min(lo, hi), max(lo, hi)
+    start = (lo + hi) / 2
+    p = SteerableParameter("x", start, minimum=lo, maximum=hi)
+    for candidate in (lo, hi, (lo + hi) / 2, lo - 1.0, hi + 1.0):
+        before = p.value
+        try:
+            p.set(candidate)
+            assert lo <= p.value <= hi
+        except SteeringError:
+            assert candidate < lo or candidate > hi
+            assert p.value == before
+
+
+# ------------------------------- sensors ------------------------------------
+
+def test_sensor_reads_live_value():
+    state = {"v": 1}
+    s = Sensor("v", lambda: state["v"])
+    assert s.read() == 1
+    state["v"] = 7
+    assert s.read() == 7
+
+
+def test_sensor_requires_callable():
+    with pytest.raises(TypeError):
+        Sensor("bad", 42)
+
+
+def test_sensor_descriptor():
+    s = Sensor("t", lambda: 0, units="K", monitored=True,
+               description="temp")
+    assert s.descriptor() == {"name": "t", "units": "K", "monitored": True,
+                              "description": "temp"}
+
+
+# ------------------------------- actuators -----------------------------------
+
+def test_actuator_invocation_with_kwargs():
+    calls = []
+    a = Actuator("fire", lambda position=0: calls.append(position) or "ok")
+    assert a.actuate(position=5) == "ok"
+    assert calls == [5]
+
+
+def test_actuator_requires_callable():
+    with pytest.raises(TypeError):
+        Actuator("bad", None)
+
+
+# ----------------------------- control network --------------------------------
+
+def make_network():
+    net = ControlNetwork()
+    net.add_parameter(SteerableParameter("dt", 0.1))
+    net.add_sensor(Sensor("energy", lambda: 42.0, monitored=True))
+    net.add_sensor(Sensor("debug", lambda: "hidden"))
+    net.add_actuator(Actuator("kick", lambda: "kicked"))
+    return net
+
+
+def test_network_lookup():
+    net = make_network()
+    assert net.parameter("dt").value == 0.1
+    assert net.sensor("energy").read() == 42.0
+    assert net.actuator("kick").actuate() == "kicked"
+
+
+def test_network_unknown_names():
+    net = make_network()
+    with pytest.raises(SteeringError):
+        net.parameter("ghost")
+    with pytest.raises(SteeringError):
+        net.sensor("ghost")
+    with pytest.raises(SteeringError):
+        net.actuator("ghost")
+
+
+def test_network_duplicate_names_rejected():
+    net = make_network()
+    with pytest.raises(SteeringError):
+        net.add_parameter(SteerableParameter("dt", 0.5))
+    with pytest.raises(SteeringError):
+        net.add_sensor(Sensor("energy", lambda: 0))
+    with pytest.raises(SteeringError):
+        net.add_actuator(Actuator("kick", lambda: None))
+
+
+def test_monitored_views_only_include_monitored():
+    net = make_network()
+    assert net.monitored_views() == {"energy": 42.0}
+
+
+def test_interface_descriptor_is_wire_safe():
+    from repro.wire import decode, encode
+    net = make_network()
+    desc = net.interface_descriptor()
+    assert decode(encode(desc)) == desc
+    assert [p["name"] for p in desc["parameters"]] == ["dt"]
+    assert {s["name"] for s in desc["sensors"]} == {"energy", "debug"}
+    assert [a["name"] for a in desc["actuators"]] == ["kick"]

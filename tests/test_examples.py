@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example asserts its own scenario internally (steering took effect,
+catch-up delivered history, etc.), so running ``main()`` is a meaningful
+integration test, not just an import check.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"

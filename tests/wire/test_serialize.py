@@ -1,0 +1,163 @@
+"""Round-trip and error tests for the wire serializer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wire import SerializationError, decode, encode, encoded_size
+from repro.wire.serialize import register_codec
+
+
+@pytest.mark.parametrize("value", [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    2 ** 62,
+    -(2 ** 62),
+    2 ** 100,             # bigint path
+    -(2 ** 100),
+    3.14159,
+    float("inf"),
+    "",
+    "hello",
+    "ünïcødé ✓",
+    b"",
+    b"\x00\xff raw",
+    [],
+    [1, 2, 3],
+    (),
+    (1, "two", 3.0),
+    {},
+    {"a": 1, "b": [True, None]},
+    [[1, [2, [3]]]],
+    {"nested": {"deep": {"deeper": (1, b"x")}}},
+])
+def test_roundtrip_scalars_and_containers(value):
+    assert decode(encode(value)) == value
+
+
+def test_roundtrip_preserves_types():
+    assert isinstance(decode(encode((1, 2))), tuple)
+    assert isinstance(decode(encode([1, 2])), list)
+    assert decode(encode(True)) is True
+    assert decode(encode(1)) == 1 and decode(encode(1)) is not True
+
+
+def test_roundtrip_ndarray():
+    arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+    out = decode(encode(arr))
+    assert out.dtype == arr.dtype
+    assert out.shape == arr.shape
+    assert np.array_equal(out, arr)
+
+
+def test_roundtrip_ndarray_int32():
+    arr = np.array([[1, 2], [3, 4]], dtype=np.int32)
+    out = decode(encode(arr))
+    assert out.dtype == np.int32
+    assert np.array_equal(out, arr)
+
+
+def test_numpy_scalars_become_python_scalars():
+    assert decode(encode(np.int64(7))) == 7
+    assert decode(encode(np.float64(2.5))) == 2.5
+
+
+def test_nan_roundtrip():
+    out = decode(encode(float("nan")))
+    assert out != out  # NaN
+
+
+def test_encoded_size_matches_encode():
+    value = {"key": [1, 2.0, "three"], "arr": np.zeros(8)}
+    assert encoded_size(value) == len(encode(value))
+
+
+def test_size_grows_with_payload():
+    small = encoded_size({"data": "x" * 10})
+    big = encoded_size({"data": "x" * 10000})
+    assert big - small == pytest.approx(9990, abs=16)
+
+
+def test_unencodable_type_rejected():
+    class Opaque:
+        pass
+
+    with pytest.raises(SerializationError):
+        encode(Opaque())
+
+
+def test_decode_trailing_garbage_rejected():
+    buf = encode(42) + b"junk"
+    with pytest.raises(SerializationError):
+        decode(buf)
+
+
+def test_decode_truncated_rejected():
+    buf = encode("hello world")
+    with pytest.raises(SerializationError):
+        decode(buf[:-3])
+
+
+def test_decode_empty_rejected():
+    with pytest.raises(SerializationError):
+        decode(b"")
+
+
+def test_decode_unknown_tag_rejected():
+    with pytest.raises(SerializationError):
+        decode(b"\x99")
+
+
+def test_registered_object_roundtrip():
+    @register_codec
+    class Point:
+        def __init__(self, x, y):
+            self.x = x
+            self.y = y
+
+    p = Point(1.5, -2)
+    out = decode(encode(p))
+    assert isinstance(out, Point)
+    assert out.x == 1.5 and out.y == -2
+
+
+def test_register_duplicate_name_rejected():
+    class Uniquely:
+        pass
+
+    class Impostor:
+        pass
+
+    register_codec(Uniquely, name="test-dup-name")
+    with pytest.raises(SerializationError):
+        register_codec(Impostor, name="test-dup-name")
+
+
+# -- property-based: the serializer round-trips arbitrary JSON-ish values --
+
+json_values = st.recursive(
+    st.none() | st.booleans()
+    | st.integers(min_value=-(2 ** 70), max_value=2 ** 70)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=40)
+    | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=25,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(json_values)
+def test_roundtrip_property(value):
+    assert decode(encode(value)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(json_values)
+def test_encoding_is_deterministic(value):
+    assert encode(value) == encode(value)
