@@ -1,0 +1,35 @@
+"""Wall-clock performance of the simulator itself (BENCH trajectory).
+
+Unlike every other benchmark in this directory — which reproduces a *paper*
+measurement in virtual time — this one measures the real seconds the
+reproduction burns on the wire fast path, network delivery, broadcast
+fan-out, and two end-to-end scenarios.  It writes ``BENCH_1.json`` at the
+repository root so successive PRs leave a perf trajectory.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_wallclock.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+
+from repro.bench.wallclock import format_report, run_suite, write_report
+
+#: where the committed perf trajectory lives
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_1.json"
+
+
+def test_wallclock_suite(benchmark):
+    report = run_once(benchmark, lambda: run_suite(quick=False))
+    print()
+    print(format_report(report))
+    write_report(str(BENCH_JSON), report)
+    print(f"wrote {BENCH_JSON}")
+    names = {entry["name"] for entry in report["benchmarks"]}
+    assert "wire/encoded_size_update_64x64" in names
+    assert "collab/broadcast_poll_30_subscribers" in names
+    assert all(entry["per_op_us"] > 0 for entry in report["benchmarks"])

@@ -1,0 +1,270 @@
+"""Wall-clock performance harness (the BENCH_*.json trajectory).
+
+Every benchmark under ``benchmarks/`` measures *virtual* time — the science
+of the paper.  This module measures the *real* seconds the simulator itself
+burns, so the repository's own scalability (ROADMAP: "as fast as the
+hardware allows") is tracked with numbers instead of folklore.  Each run
+produces a JSON report::
+
+    PYTHONPATH=src python -m repro.bench.wallclock --output BENCH_1.json
+
+The suite times the wire fast path (sizing, encoding, the single-encode
+broadcast fan-out), raw network delivery, and two end-to-end scenarios
+(E1 app scalability, E2 client scalability) in wall seconds.  ``--quick``
+runs a reduced version suitable for CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+#: report schema version; bump if entry fields change
+SCHEMA = 1
+
+
+def time_op(fn: Callable[[], object], *, repeat: int = 5,
+            number: int = 100) -> float:
+    """Best-of-``repeat`` wall seconds for one call of ``fn``.
+
+    ``fn`` is called ``number`` times per round; the fastest round is
+    reported (standard microbenchmark practice — minimum is the least
+    noisy estimator of the true cost).
+    """
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed / number)
+    return best
+
+
+def _entry(name: str, per_op_s: float, ops: int = 1,
+           note: str = "") -> Dict:
+    entry = {
+        "name": name,
+        "per_op_us": per_op_s * 1e6,
+        "ops": ops,
+    }
+    if note:
+        entry["note"] = note
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# micro: wire layer
+# ---------------------------------------------------------------------------
+
+def _update_message():
+    from repro.wire import UpdateMessage
+    grid = np.arange(64 * 64, dtype=np.float64).reshape(64, 64)
+    return UpdateMessage(payload={"grid": grid, "label": "bench-step",
+                                  "seq": 1}, seq=1, timestamp=2.5)
+
+
+def bench_wire(quick: bool = False) -> List[Dict]:
+    """Sizing and encoding of an array-bearing update message."""
+    from repro.wire import encode, encoded_size, freeze_size
+    from repro.web.http import HttpResponse
+
+    repeat = 3 if quick else 7
+    number = 50 if quick else 500
+    msg = _update_message()
+    out = [
+        _entry("wire/encoded_size_update_64x64",
+               time_op(lambda: encoded_size(msg), repeat=repeat,
+                       number=number),
+               note="size visitor, no bytes materialized"),
+        _entry("wire/encode_update_64x64",
+               time_op(lambda: encode(msg), repeat=repeat, number=number)),
+    ]
+
+    # The broadcast fan-out path: one update frozen once (as
+    # CollaborationManager.push_to_client does), then sized as part of 30
+    # distinct poll responses — the per-subscriber cost of a broadcast.
+    n_subs = 30
+
+    def fanout():
+        m = _update_message()
+        freeze_size(m)
+        total = 0
+        for i in range(n_subs):
+            total += encoded_size(HttpResponse(i, body=[m]))
+        return total
+
+    out.append(_entry(
+        f"wire/broadcast_sizing_{n_subs}_subscribers",
+        time_op(fanout, repeat=repeat, number=max(1, number // 10)),
+        ops=n_subs,
+        note="freeze once + size 30 poll responses"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# micro: network delivery
+# ---------------------------------------------------------------------------
+
+def bench_network(quick: bool = False) -> List[Dict]:
+    """Wall cost of Network.send + delivery, loopback and 3-hop."""
+    from repro.net import Network
+    from repro.sim import Simulator
+
+    n_frames = 200 if quick else 2000
+    results = []
+    for label, hops in (("loopback", 0), ("3_hop", 3)):
+        sim = Simulator()
+        net = Network(sim)
+        names = [f"h{i}" for i in range(max(2, hops + 1))]
+        for name in names:
+            net.add_host(name)
+        for a, b in zip(names, names[1:]):
+            net.add_link(a, b, latency=0.001)
+        src, dst = names[0], (names[0] if hops == 0 else names[-1])
+        net.hosts[dst].bind(9)
+        payload = {"seq": 1, "data": "x" * 200}
+
+        t0 = time.perf_counter()
+        for _ in range(n_frames):
+            net.send(src, 1, dst, 9, payload)
+        sim.run()
+        elapsed = time.perf_counter() - t0
+        results.append(_entry(f"net/send_{label}", elapsed / n_frames,
+                              ops=n_frames))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# macro: collaboration broadcast through real sessions
+# ---------------------------------------------------------------------------
+
+def bench_broadcast(quick: bool = False, n_subscribers: int = 30) -> List[Dict]:
+    """broadcast_update to N real sessions + sizing their poll batches."""
+    from repro.core.collaboration import CollaborationManager
+    from repro.sim import Simulator
+    from repro.web.http import HttpResponse
+    from repro.wire import UpdateMessage, encoded_size
+
+    rounds = 50 if quick else 500
+    sim = Simulator()
+    mgr = CollaborationManager(sim, "bench-server")
+    clients = []
+    for _ in range(n_subscribers):
+        session = mgr.create_session("bench")
+        mgr.subscribe(session.client_id, "bench-server#a1")
+        clients.append(session)
+
+    grid = np.arange(32 * 32, dtype=np.float64).reshape(32, 32)
+
+    def one_round(seq: int) -> int:
+        msg = UpdateMessage(payload={"grid": grid, "seq": seq}, seq=seq,
+                            timestamp=float(seq))
+        mgr.broadcast_update("bench-server#a1", msg)
+        total = 0
+        for session in clients:  # every subscriber polls its buffer
+            batch = []
+            item = session.buffer.try_get()
+            while item is not None:
+                batch.append(item)
+                item = session.buffer.try_get()
+            total += encoded_size(HttpResponse(seq, body=batch))
+        return total
+
+    t0 = time.perf_counter()
+    for seq in range(rounds):
+        one_round(seq)
+    elapsed = time.perf_counter() - t0
+    return [_entry(f"collab/broadcast_poll_{n_subscribers}_subscribers",
+                   elapsed / rounds, ops=rounds,
+                   note="broadcast_update + drain + size poll responses")]
+
+
+# ---------------------------------------------------------------------------
+# macro: end-to-end scenarios (virtual experiments, wall seconds)
+# ---------------------------------------------------------------------------
+
+def bench_end_to_end(quick: bool = False) -> List[Dict]:
+    from repro.bench.scenarios import (
+        run_app_scalability,
+        run_client_scalability,
+    )
+
+    duration = 3.0 if quick else 15.0
+    results = []
+    t0 = time.perf_counter()
+    row = run_app_scalability(10, duration=duration)
+    results.append(_entry("e2e/E1_app_scalability_n10",
+                          time.perf_counter() - t0,
+                          note=f"virtual duration {duration}s, "
+                               f"{row['updates_processed']} updates"))
+    t0 = time.perf_counter()
+    row = run_client_scalability(10, duration=duration)
+    results.append(_entry("e2e/E2_client_scalability_n10",
+                          time.perf_counter() - t0,
+                          note=f"virtual duration {duration}s, "
+                               f"{row['polls']} polls"))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# suite + report
+# ---------------------------------------------------------------------------
+
+def run_suite(quick: bool = False) -> Dict:
+    """Run every wall-clock bench; returns the full report dict."""
+    benchmarks: List[Dict] = []
+    for group in (bench_wire, bench_network, bench_broadcast,
+                  bench_end_to_end):
+        benchmarks.extend(group(quick=quick))
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "numpy": np.__version__,
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def write_report(path: str, report: Dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+
+
+def format_report(report: Dict) -> str:
+    from repro.bench.report import format_table
+    rows = [{"benchmark": e["name"], "per_op_us": e["per_op_us"],
+             "note": e.get("note", "")} for e in report["benchmarks"]]
+    return format_table(rows, ["benchmark", "per_op_us", "note"],
+                        title="wall-clock benchmarks (lower is better)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the wall-clock performance suite.")
+    parser.add_argument("--output", "-o", default=None,
+                        help="write the JSON report to this path")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    args = parser.parse_args(argv)
+    report = run_suite(quick=args.quick)
+    print(format_report(report))
+    if args.output:
+        write_report(args.output, report)
+        print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -21,7 +21,7 @@ import itertools
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.sim import Store
-from repro.wire import Message
+from repro.wire import Message, freeze_size
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Simulator
@@ -164,10 +164,16 @@ class CollaborationManager:
 
     # -- fan-out ------------------------------------------------------------
     def push_to_client(self, client_id: str, msg: Message) -> bool:
-        """Append to one client's FIFO buffer; False if dropped (full)."""
+        """Append to one client's FIFO buffer; False if dropped (full).
+
+        The message's wire size is frozen (memoized) here: a message fanned
+        out to N subscribers is sized once, not once per poll response it
+        later rides in.  Messages must not be mutated after this point.
+        """
         session = self._sessions.get(client_id)
         if session is None:
             return False
+        freeze_size(msg)
         if not session.buffer.try_put(msg):
             session.dropped += 1
             self.dropped += 1

@@ -10,27 +10,31 @@ destination endpoint's inbox.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
 
 import networkx as nx
 
 from repro.net.host import Host
 from repro.net.link import Link
 from repro.net.trace import TrafficTrace
-from repro.wire import encoded_size
+from repro.wire import freeze_size
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Simulator
 
 _frame_ids = itertools.count(1)
 
+#: how many recently dropped frames are kept around for debugging
+DROPPED_HISTORY = 64
+
 
 class NetworkError(Exception):
     """Unroutable destinations, unbound ports, unknown hosts."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One payload in flight, with its measured wire size."""
 
@@ -66,8 +70,11 @@ class Network:
         self.links: Dict[Tuple[str, str], Link] = {}
         self.graph = nx.Graph()
         self._route_cache: Dict[Tuple[str, str], List[str]] = {}
-        #: frames that arrived at unbound ports (dropped, visible for debug)
-        self.dropped: List[Frame] = []
+        #: the most recent frames that arrived at unbound ports (bounded —
+        #: undeliverable traffic must not grow memory without limit)
+        self.dropped: Deque[Frame] = deque(maxlen=DROPPED_HISTORY)
+        #: total frames ever dropped (also mirrored into the traffic trace)
+        self.dropped_count = 0
 
     # -- construction ------------------------------------------------------
     def add_host(self, name: str, cpu_capacity: int = 1,
@@ -128,7 +135,9 @@ class Network:
         """Inject a frame; returns it immediately (delivery is asynchronous)."""
         if dst_host not in self.hosts:
             raise NetworkError(f"unknown destination host {dst_host!r}")
-        size = encoded_size(payload) + self.frame_overhead
+        # freeze_size memoizes the payload's wire size: a message re-sent
+        # (retries, fan-out to several destinations) is sized exactly once
+        size = freeze_size(payload) + self.frame_overhead
         frame = Frame(src_host, src_port, dst_host, dst_port, payload, size,
                       channel=channel, sent_at=self.sim.now)
         if src_host == dst_host:
@@ -157,7 +166,10 @@ class Network:
         frame.delivered_at = self.sim.now
         if inbox is None:
             # Port not bound: the frame is dropped, like a TCP RST. Higher
-            # layers see it as a timeout. Kept visible for diagnosability.
+            # layers see it as a timeout. A bounded window stays visible
+            # for diagnosability; the counters record the full total.
             self.dropped.append(frame)
+            self.dropped_count += 1
+            self.trace.record_dropped(frame)
             return
         inbox.put(frame)

@@ -33,6 +33,13 @@ class TrafficTrace:
         self.per_kind: Dict[str, LinkCounter] = defaultdict(LinkCounter)
         self.per_channel: Dict[str, LinkCounter] = defaultdict(LinkCounter)
         self.total = LinkCounter()
+        #: frames that reached an unbound destination port
+        self.dropped = LinkCounter()
+
+    def record_dropped(self, frame: "Frame") -> None:
+        """Count one undeliverable frame (destination port unbound)."""
+        self.dropped.messages += 1
+        self.dropped.bytes += frame.size
 
     def record(self, link: "Link", frame: "Frame") -> None:
         """Count one frame crossing one link."""
@@ -65,6 +72,7 @@ class TrafficTrace:
         self.per_kind.clear()
         self.per_channel.clear()
         self.total = LinkCounter()
+        self.dropped = LinkCounter()
 
     def snapshot(self) -> dict:
         """A plain-dict summary for reports."""
@@ -75,6 +83,8 @@ class TrafficTrace:
             "wan_bytes": self.wan_bytes,
             "lan_messages": self.lan_messages,
             "lan_bytes": self.lan_bytes,
+            "dropped_messages": self.dropped.messages,
+            "dropped_bytes": self.dropped.bytes,
             "by_channel": {ch: (c.messages, c.bytes)
                            for ch, c in sorted(self.per_channel.items())},
         }

@@ -37,7 +37,7 @@ from repro.orb.giop import (
 )
 from repro.orb.reference import ObjectRef
 from repro.sim import AnyOf
-from repro.wire import encoded_size
+from repro.wire import freeze_size
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.host import Host
@@ -116,8 +116,9 @@ class Orb:
         req = GiopRequest(req_id, ref.object_key, operation,
                           tuple(args), dict(kwargs),
                           reply_host=self.host.name, reply_port=self.port)
-        # Client-side stub marshalling delay.
-        marshal = self.costs.corba_per_byte * encoded_size(req)
+        # Client-side stub marshalling delay.  freeze_size memoizes the
+        # request's wire size, so the network send below reuses it.
+        marshal = self.costs.corba_per_byte * freeze_size(req)
         if marshal > 0:
             yield self.sim.timeout(marshal)
         waiter = self.sim.event()

@@ -15,10 +15,19 @@ STATUS_OK = "ok"
 STATUS_USER_EXC = "user_exception"
 STATUS_SYSTEM_EXC = "system_exception"
 
+# Wire field order of the two message types.  GIOP messages are the per-call
+# hot path, so the classes use __slots__; the codec functions below replicate
+# exactly what the default ``dict(vars(obj))`` codec produced before, keeping
+# the encoding byte-for-byte identical.
+_REQUEST_FIELDS = ("request_id", "object_key", "operation", "args", "kwargs",
+                   "reply_host", "reply_port", "oneway")
+_REPLY_FIELDS = ("request_id", "status", "result", "exc_type", "exc_message")
 
-@register_codec
+
 class GiopRequest:
     """One remote invocation: target object key, operation, arguments."""
+
+    __slots__ = _REQUEST_FIELDS + ("__weakref__",)
 
     def __init__(self, request_id: int, object_key: str, operation: str,
                  args: tuple = (), kwargs: Optional[dict] = None,
@@ -28,7 +37,7 @@ class GiopRequest:
         self.object_key = object_key
         self.operation = operation
         self.args = args
-        self.kwargs = kwargs or {}
+        self.kwargs = kwargs if kwargs is not None else {}
         self.reply_host = reply_host
         self.reply_port = reply_port
         self.oneway = oneway
@@ -38,9 +47,10 @@ class GiopRequest:
                 f"{self.object_key}.{self.operation}>")
 
 
-@register_codec
 class GiopReply:
     """The reply to a request: status + result (or error description)."""
+
+    __slots__ = _REPLY_FIELDS + ("__weakref__",)
 
     def __init__(self, request_id: int, status: str = STATUS_OK,
                  result: Any = None, exc_type: str = "",
@@ -53,3 +63,21 @@ class GiopReply:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<GiopReply #{self.request_id} {self.status}>"
+
+
+def _slots_codec(cls: type, fields: tuple) -> None:
+    """Register a ``__slots__`` class with an explicit field-order codec."""
+    def to_fields(obj: Any, _fields=fields) -> dict:
+        return {name: getattr(obj, name) for name in _fields}
+
+    def from_fields(data: dict, _cls=cls) -> Any:
+        obj = _cls.__new__(_cls)
+        for name, value in data.items():
+            setattr(obj, name, value)
+        return obj
+
+    register_codec(cls, to_fields=to_fields, from_fields=from_fields)
+
+
+_slots_codec(GiopRequest, _REQUEST_FIELDS)
+_slots_codec(GiopReply, _REPLY_FIELDS)

@@ -20,6 +20,22 @@ NORMAL = 1
 URGENT = 0
 
 
+class _ScheduledCall:
+    """Adapter turning a zero-arg function into an event callback.
+
+    Used by :meth:`Simulator.call_at` / :meth:`Simulator.call_later` instead
+    of a per-call lambda (no closure cell, one slotted instance).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+
+    def __call__(self, _event: SimEvent) -> None:
+        self.fn()
+
+
 class Simulator:
     """Discrete-event simulator with virtual time.
 
@@ -76,13 +92,13 @@ class Simulator:
             raise SimulationError(
                 f"call_at({time}) is in the past (now={self._now})")
         ev = self.timeout(time - self._now)
-        ev.callbacks.append(lambda _ev: fn())
+        ev.callbacks.append(_ScheduledCall(fn))
         return ev
 
     def call_later(self, delay: float, fn: Callable[[], None]) -> SimEvent:
         """Run ``fn()`` after ``delay`` virtual time units."""
         ev = self.timeout(delay)
-        ev.callbacks.append(lambda _ev: fn())
+        ev.callbacks.append(_ScheduledCall(fn))
         return ev
 
     # -- scheduling (kernel internal) ----------------------------------------
@@ -136,9 +152,20 @@ class Simulator:
             stop_event = marker
             marker.callbacks.append(self._stop_on_event)
 
+        # Inlined step() with locals bound outside the loop — this is the
+        # hottest loop in the repository (every event of every scenario).
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                self.step()
+            while heap:
+                when, _prio, _seq, event = pop(heap)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for cb in callbacks:
+                    cb(event)
+                if not event._ok and not event._defused:
+                    # A failed event nobody waited on: surface the error.
+                    raise event._value
         except StopSimulation as stop:
             return stop.value
         if stop_event is not None and not stop_event.processed:

@@ -10,6 +10,12 @@ name" (paper §4.1).  We reproduce both halves:
   network (and exercised as a real codec: decode(encode(x)) == x).
 - :mod:`repro.wire.messages` — the typed message hierarchy; receivers
   dispatch on ``type(msg).__name__`` exactly like the paper's clients.
+
+Fast-path invariant: ``encoded_size(x) == len(encode(x))`` always holds,
+but ``encoded_size`` never materializes encoded bytes (a dedicated size
+visitor; ndarrays sized without a copy).  ``freeze_size`` memoizes the size
+of a wire message the first time it is sent or fanned out — from that point
+the message must be treated as frozen (not mutated).
 """
 
 from repro.wire.messages import (
@@ -31,7 +37,9 @@ from repro.wire.serialize import (
     decode,
     encode,
     encoded_size,
+    freeze_size,
     register_codec,
+    set_object_walk_hook,
 )
 
 __all__ = [
@@ -50,6 +58,8 @@ __all__ = [
     "decode",
     "encode",
     "encoded_size",
+    "freeze_size",
     "message_type_name",
     "register_codec",
+    "set_object_walk_hook",
 ]

@@ -15,12 +15,22 @@ Format: one type tag byte, then a big-endian payload.  Containers carry a
 carry dtype + shape + raw bytes.  Registered application types (messages)
 carry their registered name and a dict of fields — comparable in framing
 overhead to Java serialization's class descriptors.
+
+Fast path invariant: :func:`encoded_size` computes exact byte counts with a
+dedicated size visitor — no encoded bytes are materialized (ndarrays are
+sized as ``dtype.itemsize * size`` with no copy) — and is pinned by property
+test to ``encoded_size(x) == len(encode(x))`` over the full value model.
+:func:`freeze_size` additionally memoizes the size of a registered wire
+object, so a message fanned out to N subscribers is walked exactly once;
+callers must treat a message as **frozen** (immutable) once it has been
+sent or pushed into a fan-out buffer.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, Dict, Tuple
+import weakref
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +57,10 @@ class SerializationError(Exception):
 # Registered application types: name -> (class, to_fields, from_fields)
 _registry: Dict[str, Tuple[type, Callable[[Any], dict], Callable[[dict], Any]]] = {}
 _by_class: Dict[type, str] = {}
+#: sizing metadata per registered class: (encoded key length, to_fields) —
+#: ``to_fields`` is None for default codecs, letting the size visitor walk
+#: ``vars(obj)`` directly instead of copying it into a fresh dict
+_obj_size_info: Dict[type, Tuple[int, Optional[Callable[[Any], dict]]]] = {}
 
 
 def register_codec(cls: type, name: str | None = None,
@@ -59,6 +73,7 @@ def register_codec(cls: type, name: str | None = None,
     a decorator.
     """
     key = name or cls.__qualname__
+    default_fields = to_fields is None
     if to_fields is None:
         to_fields = lambda obj: dict(vars(obj))
     if from_fields is None:
@@ -70,6 +85,13 @@ def register_codec(cls: type, name: str | None = None,
         raise SerializationError(f"codec name {key!r} already registered")
     _registry[key] = (cls, to_fields, from_fields)
     _by_class[cls] = key
+    if not issubclass(cls, (int, float, str, bytes, bytearray, list, tuple,
+                            dict, np.ndarray)):
+        # encode() would treat instances of builtin subclasses as the
+        # builtin (its isinstance chain runs before the registry check),
+        # so only plain classes take the object sizing fast path
+        _obj_size_info[cls] = (len(key.encode("utf-8")),
+                               None if default_fields else to_fields)
     return cls
 
 
@@ -112,7 +134,8 @@ def _encode_into(value: Any, out: list) -> None:
     elif isinstance(value, (bytes, bytearray)):
         out.append(_T_BYTES)
         out.append(_pack_len(len(value)))
-        out.append(bytes(value))
+        # already-bytes values go in as-is (no redundant copy)
+        out.append(value if type(value) is bytes else bytes(value))
     elif isinstance(value, list):
         out.append(_T_LIST)
         out.append(_pack_len(len(value)))
@@ -131,7 +154,10 @@ def _encode_into(value: Any, out: list) -> None:
             _encode_into(v, out)
     elif isinstance(value, np.ndarray):
         dtype_name = value.dtype.str.encode("ascii")
-        raw = np.ascontiguousarray(value).tobytes()
+        if value.flags.c_contiguous:
+            raw = value.tobytes()
+        else:
+            raw = np.ascontiguousarray(value).tobytes()
         out.append(_T_NDARRAY)
         out.append(_pack_len(len(dtype_name)))
         out.append(dtype_name)
@@ -247,6 +273,158 @@ def _decode_from(buf: bytes, off: int) -> Tuple[Any, int]:
     raise SerializationError(f"unknown type tag {tag!r} at offset {off - 1}")
 
 
+# ---------------------------------------------------------------------------
+# Sizing fast path
+# ---------------------------------------------------------------------------
+#
+# ``encoded_size`` used to be ``len(encode(x))`` — a full encode (including
+# an ``ndarray.tobytes()`` copy) performed purely for byte accounting, once
+# per hop and once per fan-out target.  The size visitor below computes the
+# identical byte count with zero allocation, and ``freeze_size`` memoizes
+# the total for registered wire objects so a message broadcast to N
+# subscribers (or re-sent on a retry) is walked exactly once.
+
+#: memoized sizes of *frozen* registered objects, keyed by ``id``.  Entries
+#: are removed by a ``weakref.finalize`` when the object is collected, so a
+#: live entry can never alias a recycled id.
+_FROZEN_SIZES: Dict[int, int] = {}
+
+#: test/bench instrumentation: when set, called with each registered object
+#: whose fields are fully walked for sizing (i.e. on every memo *miss*).
+_object_walk_hook: Optional[Callable[[Any], None]] = None
+
+
+def set_object_walk_hook(
+        hook: Optional[Callable[[Any], None]]) -> Optional[Callable]:
+    """Install (or clear) the sizing-walk hook; returns the previous one."""
+    global _object_walk_hook
+    previous, _object_walk_hook = _object_walk_hook, hook
+    return previous
+
+
+def _size_int(value: int) -> int:
+    if -(2 ** 63) <= value < 2 ** 63:
+        return 9
+    return 5 + (value.bit_length() + 8) // 8 + 1
+
+
+def _size_str(value: str) -> int:
+    if value.isascii():  # UTF-8 length fast path
+        return 5 + len(value)
+    return 5 + len(value.encode("utf-8"))
+
+
+def _size_seq(value) -> int:
+    size_of = _size_of
+    total = 5
+    for item in value:
+        total += size_of(item)
+    return total
+
+
+def _size_dict(value: dict) -> int:
+    size_of = _size_of
+    total = 5
+    for k, v in value.items():
+        total += size_of(k) + size_of(v)
+    return total
+
+
+def _size_ndarray(value: np.ndarray) -> int:
+    # dtype.str is always ASCII; payload is itemsize * size — no copy.
+    return 1 + 4 + len(value.dtype.str) + 4 + 4 * value.ndim \
+        + 4 + value.dtype.itemsize * value.size
+
+
+#: exact-type dispatch for the common value model (hot path); subclasses and
+#: numpy scalars fall back to the isinstance chain in ``_size_of``
+_SIZERS: Dict[type, Callable[[Any], int]] = {
+    type(None): lambda _v: 1,
+    bool: lambda _v: 1,
+    int: _size_int,
+    float: lambda _v: 9,
+    str: _size_str,
+    bytes: lambda v: 5 + len(v),
+    bytearray: lambda v: 5 + len(v),
+    list: _size_seq,
+    tuple: _size_seq,
+    dict: _size_dict,
+    np.ndarray: _size_ndarray,
+}
+
+
+def _size_of(value: Any) -> int:
+    """Exact ``len(encode(value))`` without materializing any bytes."""
+    tp = type(value)
+    sizer = _SIZERS.get(tp)
+    if sizer is not None:
+        return sizer(value)
+    info = _obj_size_info.get(tp)
+    if info is not None:
+        size = _FROZEN_SIZES.get(id(value))
+        if size is not None:
+            return size
+        if _object_walk_hook is not None:
+            _object_walk_hook(value)
+        key_len, to_fields = info
+        fields = vars(value) if to_fields is None else to_fields(value)
+        return 5 + key_len + _size_dict(fields)
+    # Slow path: subclasses and numpy scalars, mirroring _encode_into's
+    # isinstance chain exactly.
+    if value is True or value is False:
+        return 1
+    if isinstance(value, int):
+        return _size_int(value)
+    if isinstance(value, float):
+        return 9
+    if isinstance(value, str):
+        return _size_str(value)
+    if isinstance(value, (bytes, bytearray)):
+        return 5 + len(value)
+    if isinstance(value, (list, tuple)):
+        return _size_seq(value)
+    if isinstance(value, dict):
+        return _size_dict(value)
+    if isinstance(value, np.ndarray):
+        return _size_ndarray(value)
+    if isinstance(value, np.integer):
+        return _size_int(int(value))
+    if isinstance(value, np.floating):
+        return 9
+    raise SerializationError(
+        f"cannot encode value of type {type(value).__name__}: {value!r}")
+
+
 def encoded_size(value: Any) -> int:
-    """Number of bytes :func:`encode` would produce for ``value``."""
-    return len(encode(value))
+    """Number of bytes :func:`encode` would produce for ``value``.
+
+    Computed by a dedicated size visitor: no encoded bytes are materialized
+    and ndarrays are sized without a ``tobytes()`` copy.  The invariant
+    ``encoded_size(x) == len(encode(x))`` is pinned by property tests.
+    """
+    return _size_of(value)
+
+
+def freeze_size(value: Any) -> int:
+    """Size ``value`` and memoize the result if it is a registered object.
+
+    Callers on the wire path (network send, ORB marshalling, collaboration
+    fan-out) use this so a message delivered to N subscribers or forwarded
+    across multiple hops is sized exactly once.  From the first call on the
+    object must be treated as *frozen*: mutating a message after it has
+    been sent or buffered for fan-out yields stale byte accounting.
+    """
+    if type(value) not in _by_class:
+        return _size_of(value)
+    key = id(value)
+    size = _FROZEN_SIZES.get(key)
+    if size is None:
+        size = _size_of(value)
+        try:
+            # the finalizer drops the entry when the object dies, before
+            # its id can be reused
+            weakref.finalize(value, _FROZEN_SIZES.pop, key, None)
+        except TypeError:  # not weak-referenceable: size it, don't memoize
+            return size
+        _FROZEN_SIZES[key] = size
+    return size

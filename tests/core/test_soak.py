@@ -102,7 +102,8 @@ def test_soak_locks_end_balanced(soaked):
 def test_soak_no_frames_dropped(soaked):
     collab, apps, outcomes, monitors = soaked
     # frames to unbound ports would indicate routing/lifecycle bugs
-    assert collab.net.dropped == []
+    assert not collab.net.dropped
+    assert collab.net.dropped_count == 0
 
 
 def test_soak_no_client_buffer_overflow(soaked):

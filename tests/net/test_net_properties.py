@@ -48,7 +48,8 @@ def test_every_frame_delivered_exactly_once(sends):
     assert len(received) == sent
     assert len({f.frame_id for f in received}) == sent
     assert all(f.latency is not None and f.latency >= 0 for f in received)
-    assert net.dropped == []
+    assert not net.dropped
+    assert net.dropped_count == 0
 
 
 @settings(max_examples=30, deadline=None)
