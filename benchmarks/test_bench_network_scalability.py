@@ -9,7 +9,7 @@ shape: aggregate capacity scales with server count.
 
 from benchmarks.conftest import run_once
 from repro.bench import print_experiment
-from repro.bench.scenarios import run_app_scalability
+from repro.bench.scenarios import pipeline_counters, run_app_scalability
 from repro.bench.workload import make_app_farm
 from repro.core.deployment import build_collaboratory
 from repro.metrics import LatencyRecorder
@@ -38,6 +38,7 @@ def _p2p_run(n_servers: int) -> dict:
         "p90_lag_ms": stats.p90 * 1e3,
         "throughput_per_s": stats.count / DURATION,
         "saturated": stats.mean > 0.5,
+        **pipeline_counters(collab.servers.values()),
     }
 
 
@@ -51,6 +52,9 @@ def _central_run(total_apps: int) -> dict:
         "p90_lag_ms": row["p90_lag_ms"],
         "throughput_per_s": row["throughput_per_s"],
         "saturated": row["saturated"],
+        **{k: row[k] for k in ("http_requests", "orb_requests",
+                               "channel_requests", "pipeline_errors",
+                               "sessions_expired")},
     }
 
 
@@ -70,7 +74,8 @@ def test_bench_e9_network_scalability(benchmark):
         "simultaneous applications ... should further increase",
         rows,
         ["deployment", "n_servers", "total_apps", "mean_lag_ms",
-         "p90_lag_ms", "throughput_per_s", "saturated"],
+         "p90_lag_ms", "throughput_per_s", "saturated",
+         "channel_requests", "orb_requests"],
         finding=_finding(rows),
     )
     p2p = [r for r in rows if r["deployment"].startswith("p2p")]

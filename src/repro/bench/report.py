@@ -38,6 +38,26 @@ def format_table(rows: Sequence[Dict], columns: Sequence[str],
     return "\n".join(lines)
 
 
+#: extra row keys added by ``repro.bench.scenarios.pipeline_counters``
+PIPELINE_KEYS = ("http_requests", "orb_requests", "channel_requests",
+                 "pipeline_errors", "sessions_expired")
+
+
+def format_pipeline_summary(rows: Sequence[Dict]) -> str:
+    """One footer line aggregating the per-plane pipeline counters.
+
+    Returns "" when the rows carry no pipeline keys (e.g. rows loaded
+    from a pre-pipeline results file)."""
+    if not rows or not any(k in row for row in rows for k in PIPELINE_KEYS):
+        return ""
+    totals = {k: sum(row.get(k, 0) for row in rows) for k in PIPELINE_KEYS}
+    return (f"pipeline: http={totals['http_requests']} "
+            f"orb={totals['orb_requests']} "
+            f"channel={totals['channel_requests']} "
+            f"errors={totals['pipeline_errors']} "
+            f"sessions_expired={totals['sessions_expired']}")
+
+
 def print_experiment(exp_id: str, claim: str, rows: Sequence[Dict],
                      columns: Sequence[str], finding: str = "") -> None:
     """Print one experiment block: id, the paper's claim, rows, finding."""
@@ -45,6 +65,9 @@ def print_experiment(exp_id: str, claim: str, rows: Sequence[Dict],
     print(f"=== {exp_id} ===")
     print(f"paper: {claim}")
     print(format_table(rows, columns))
+    summary = format_pipeline_summary(rows)
+    if summary:
+        print(summary)
     if finding:
         print(f"measured: {finding}")
     print()

@@ -20,6 +20,29 @@ from repro.bench.workload import (
 from repro.core.deployment import build_collaboratory, build_single_server
 from repro.metrics import LatencyRecorder
 from repro.net.costs import CostModel, LinkSpec
+from repro.pipeline.core import PLANE_CHANNEL, PLANE_HTTP, PLANE_ORB
+
+
+def pipeline_counters(servers) -> dict:
+    """Aggregate per-plane pipeline counters across ``servers`` into the
+    extra row keys every scenario reports (``http_requests``,
+    ``orb_requests``, ``channel_requests``, ``pipeline_errors``,
+    ``sessions_expired``)."""
+    http = orb = channel = errors = expired = 0
+    for server in servers:
+        metrics = server.pipeline_metrics
+        http += metrics.requests(PLANE_HTTP)
+        orb += metrics.requests(PLANE_ORB)
+        channel += metrics.requests(PLANE_CHANNEL)
+        errors += metrics.errors()
+        expired += server.container.sessions_expired
+    return {
+        "http_requests": http,
+        "orb_requests": orb,
+        "channel_requests": channel,
+        "pipeline_errors": errors,
+        "sessions_expired": expired,
+    }
 
 
 def run_app_scalability(n_apps: int, *, duration: float = 30.0,
@@ -52,6 +75,7 @@ def run_app_scalability(n_apps: int, *, duration: float = 30.0,
         # saturated = the server can no longer keep update lag below one
         # update period (work arrives faster than it drains)
         "saturated": stats.mean > update_period,
+        **pipeline_counters(collab.servers.values()),
     }
 
 
@@ -87,6 +111,7 @@ def run_client_scalability(n_clients: int, *, duration: float = 30.0,
         "p90_rtt_ms": stats.p90 * 1e3,
         "p99_rtt_ms": stats.p99 * 1e3,
         "polls": stats.count,
+        **pipeline_counters(collab.servers.values()),
     }
 
 
@@ -147,6 +172,7 @@ def run_collab_scenario(*, mode: str, n_domains: int = 3,
         "mean_update_latency_ms": stats.mean * 1e3,
         "p90_update_latency_ms": stats.p90 * 1e3,
         "updates_seen": stats.count,
+        **pipeline_counters(collab.servers.values()),
     }
 
 
@@ -186,4 +212,5 @@ def run_remote_vs_local(*, remote: bool, duration: float = 20.0,
         "p90_steer_rtt_ms": stats.p90 * 1e3,
         "commands": stats.count,
         "throughput_per_s": stats.count / duration,
+        **pipeline_counters(collab.servers.values()),
     }

@@ -18,7 +18,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Tuple
 
-from repro.bench.report import format_table
+from repro.bench.report import format_pipeline_summary, format_table
 from repro.bench.scenarios import (
     run_app_scalability,
     run_client_scalability,
@@ -102,6 +102,9 @@ def cmd_run(args) -> int:
     claim, fn = entry
     rows, columns = fn(args.quick)
     print(format_table(rows, columns, title=f"{exp_id}: {claim}"))
+    summary = format_pipeline_summary(rows)
+    if summary:
+        print(summary)
     return 0
 
 

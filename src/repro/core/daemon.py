@@ -23,6 +23,7 @@ import itertools
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.proxy import ApplicationProxy
+from repro.pipeline.core import PLANE_CHANNEL, Pipeline, RequestContext
 from repro.steering.application import DAEMON_PORT
 from repro.wire import (
     AckMessage,
@@ -48,12 +49,24 @@ class DaemonService:
     """Listens for application connections on the daemon port."""
 
     def __init__(self, server: "DiscoverServer",
-                 port: int = DAEMON_PORT) -> None:
+                 port: int = DAEMON_PORT,
+                 pipeline: Optional[Pipeline] = None) -> None:
         self.server = server
         self.sim = server.sim
         self.port = port
         self.endpoint = server.host.bind(port)
         self._app_seq = itertools.count(1)
+        if pipeline is None:
+            # Late import: repro.pipeline.interceptors imports the core
+            # managers, which import this module.  The default chain must
+            # include the security interceptor — registration auth (§4.1)
+            # lives there now.
+            from repro.pipeline.interceptors import default_pipeline
+            pipeline = default_pipeline(PLANE_CHANNEL,
+                                        clock=lambda: self.sim.now,
+                                        security=server.security)
+        #: interceptor chain every channel message dispatches through
+        self.pipeline = pipeline
         self._proc = self.sim.spawn(self._listen(),
                                     name=f"daemon@{server.name}")
         self.messages_handled = 0
@@ -85,14 +98,28 @@ class DaemonService:
                 # custom-TCP-channel service cost on the server CPU
                 yield from self.server.host.use_cpu(costs.tcp_cost(frame.size))
                 self.messages_handled += 1
-                self._dispatch(frame, msg)
+                ctx = RequestContext(PLANE_CHANNEL, request_id=msg.msg_id,
+                                     principal=frame.src_host,
+                                     operation=type(msg).__name__,
+                                     size=frame.size, request=msg)
+
+                def dispatch(_ctx, frame=frame, msg=msg):
+                    return self._dispatch(frame, msg)
+
+                reply = yield from self.pipeline.execute(ctx, dispatch)
+                if isinstance(reply, Message):
+                    self.endpoint.send(frame.src_host, frame.src_port,
+                                       reply, channel="response")
         except Interrupt:
             return
 
-    def _dispatch(self, frame, msg: Message) -> None:
+    def _dispatch(self, frame, msg: Message) -> Optional[Message]:
+        """Pipeline handler: route one channel message; returns the reply
+        message (if any) for the listener to send.  Registration auth
+        already happened in the chain's security interceptor."""
         if isinstance(msg, RegisterMessage):
-            self._on_register(frame, msg)
-        elif isinstance(msg, UpdateMessage):
+            return self._on_register(frame, msg)
+        if isinstance(msg, UpdateMessage):
             self.server.on_app_update(msg)
         elif isinstance(msg, (ResponseMessage, ErrorMessage)):
             self.server.on_app_response(msg)
@@ -101,15 +128,9 @@ class DaemonService:
                 self.server.on_app_phase(msg.app_id, msg.detail)
             elif msg.event == "deregister":
                 self.server.on_app_deregister(msg.app_id)
+        return None
 
-    def _on_register(self, frame, msg: RegisterMessage) -> None:
-        if not self.server.security.authenticate_application(
-                msg.app_name, msg.auth_token):
-            self.endpoint.send(frame.src_host, frame.src_port,
-                               AckMessage(msg.msg_id, ok=False,
-                                          info="authentication failed"),
-                               channel="response")
-            return
+    def _on_register(self, frame, msg: RegisterMessage) -> AckMessage:
         app_id = self.next_app_id()
         proxy = ApplicationProxy(
             app_id, msg.app_name, msg.interface, msg.acl,
@@ -117,9 +138,7 @@ class DaemonService:
             owner=self._owner_from_acl(msg.acl),
             forward=self.forward_command)
         self.server.on_app_register(proxy)
-        self.endpoint.send(frame.src_host, frame.src_port,
-                           AckMessage(msg.msg_id, ok=True, info=app_id),
-                           channel="response")
+        return AckMessage(msg.msg_id, ok=True, info=app_id)
 
     @staticmethod
     def _owner_from_acl(acl: dict) -> str:

@@ -8,26 +8,23 @@
 - ``/archive`` — the session-archival handler: replay and latecomer
   catch-up (§5.2.5).
 
-Every handler translates middleware exceptions to HTTP statuses:
-SecurityError → 401/403, LockError → 409, unknown ids → 404.
+Middleware exceptions raised here propagate to the container's request
+pipeline, where the shared
+:class:`~repro.pipeline.interceptors.ErrorEnvelopeInterceptor` maps them
+to uniform HTTP error payloads: SecurityError → 403, LockError → 409,
+unknown ids (CollaborationError) → 404, peer failures (OrbError) → 500,
+missing/bad parameters (KeyError/ValueError) → 400.  The one mapping kept
+local is login: a failed *authentication* is 401, where every other
+SecurityError is an *authorization* failure (403).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.collaboration import DEFAULT_GROUP, CollaborationError
-from repro.core.locking import LockError
+from repro.core.collaboration import DEFAULT_GROUP
 from repro.core.security import SecurityError
-from repro.orb import OrbError
-from repro.web.http import (
-    BAD_REQUEST,
-    CONFLICT,
-    FORBIDDEN,
-    NOT_FOUND,
-    SERVER_ERROR,
-    UNAUTHORIZED,
-)
+from repro.web.http import BAD_REQUEST, UNAUTHORIZED
 from repro.web.servlet import Servlet
 from repro.wire import ChatMessage, UpdateMessage, WhiteboardMessage
 
@@ -44,22 +41,10 @@ def mount_all(server: "DiscoverServer") -> None:
 
 
 class DiscoverServlet(Servlet):
-    """Base: holds the server and maps middleware errors to statuses."""
+    """Base: holds the server; error mapping lives in the pipeline."""
 
     def __init__(self, server: "DiscoverServer") -> None:
         self.server = server
-
-    @staticmethod
-    def _error(exc: Exception):
-        if isinstance(exc, SecurityError):
-            return (FORBIDDEN, {"error": str(exc)})
-        if isinstance(exc, LockError):
-            return (CONFLICT, {"error": str(exc)})
-        if isinstance(exc, CollaborationError):
-            return (NOT_FOUND, {"error": str(exc)})
-        if isinstance(exc, OrbError):
-            return (SERVER_ERROR, {"error": f"peer failure: {exc}"})
-        raise exc
 
 
 class MasterServlet(DiscoverServlet):
@@ -68,20 +53,14 @@ class MasterServlet(DiscoverServlet):
     def do_post(self, request, session):
         action = request.path.rsplit("/", 1)[-1]
         p = request.params
-        try:
-            if action == "login":
-                return self._login(p, session)
-            if action == "logout":
-                self.server.client_logout(p["client_id"])
-                session.attributes.pop("client_id", None)
-                return {"ok": True}
-            if action == "select":
-                return self._select(p)
-        except (SecurityError, LockError, CollaborationError,
-                OrbError) as exc:
-            return self._error(exc)
-        except KeyError as exc:
-            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        if action == "login":
+            return self._login(p, session)
+        if action == "logout":
+            self.server.client_logout(p["client_id"])
+            session.attributes.pop("client_id", None)
+            return {"ok": True}
+        if action == "select":
+            return self._select(p)
         return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
 
     def _login(self, p, http_session):
@@ -89,36 +68,26 @@ class MasterServlet(DiscoverServlet):
             client_id = yield from self.server.client_login(
                 p["user"], p.get("password", ""))
         except SecurityError as exc:
+            # Authentication (not authorization) failure — 401, where the
+            # pipeline envelope's generic SecurityError mapping is 403.
             return (UNAUTHORIZED, {"error": str(exc)})
-        except KeyError as exc:
-            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
         http_session.set("client_id", client_id)
         return {"client_id": client_id,
                 "server": self.server.name,
                 "apps": self.server.list_applications(client_id)}
 
     def _select(self, p):
-        try:
-            info = yield from self.server.select_app(p["client_id"],
-                                                     p["app_id"])
-        except (SecurityError, CollaborationError, OrbError) as exc:
-            return self._error(exc)
-        except KeyError as exc:
-            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        info = yield from self.server.select_app(p["client_id"],
+                                                 p["app_id"])
         return info
 
     def do_get(self, request, session):
         action = request.path.rsplit("/", 1)[-1]
         p = request.params
-        try:
-            if action == "apps":
-                return {"apps": self.server.list_applications(p["client_id"])}
-            if action == "users":
-                return {"users": self.server.corba_servant.get_users()}
-        except (CollaborationError,) as exc:
-            return self._error(exc)
-        except KeyError as exc:
-            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        if action == "apps":
+            return {"apps": self.server.list_applications(p["client_id"])}
+        if action == "users":
+            return {"users": self.server.corba_servant.get_users()}
         return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
 
 
@@ -128,29 +97,23 @@ class CommandServlet(DiscoverServlet):
     def do_post(self, request, session):
         action = request.path.rsplit("/", 1)[-1]
         p = request.params
-        try:
-            if action == "submit":
-                request_id = yield from self.server.submit_command(
-                    p["client_id"], p["app_id"], p["command"],
-                    p.get("args") or {})
-                return {"request_id": request_id}
-            if action == "lock":
-                return (yield from self._lock(p))
-            if action == "schedule":
-                schedule_id = self.server.schedule_interaction(
-                    p["client_id"], p["app_id"], p["command"],
-                    p.get("args") or {}, float(p.get("period", 1.0)),
-                    int(p["count"]) if "count" in p else None)
-                return {"schedule_id": schedule_id}
-            if action == "unschedule":
-                stopped = self.server.cancel_schedule(p["client_id"],
-                                                      p["schedule_id"])
-                return {"stopped": stopped}
-        except (SecurityError, LockError, CollaborationError,
-                OrbError) as exc:
-            return self._error(exc)
-        except (KeyError, ValueError) as exc:
-            return (BAD_REQUEST, {"error": f"bad parameters: {exc}"})
+        if action == "submit":
+            request_id = yield from self.server.submit_command(
+                p["client_id"], p["app_id"], p["command"],
+                p.get("args") or {})
+            return {"request_id": request_id}
+        if action == "lock":
+            return (yield from self._lock(p))
+        if action == "schedule":
+            schedule_id = self.server.schedule_interaction(
+                p["client_id"], p["app_id"], p["command"],
+                p.get("args") or {}, float(p.get("period", 1.0)),
+                int(p["count"]) if "count" in p else None)
+            return {"schedule_id": schedule_id}
+        if action == "unschedule":
+            stopped = self.server.cancel_schedule(p["client_id"],
+                                                  p["schedule_id"])
+            return {"stopped": stopped}
         return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
 
     def _lock(self, p):
@@ -168,14 +131,9 @@ class CommandServlet(DiscoverServlet):
     def do_get(self, request, session):
         action = request.path.rsplit("/", 1)[-1]
         p = request.params
-        try:
-            if action == "lock":
-                holder = yield from self.server.lock_holder(p["app_id"])
-                return {"holder": holder}
-        except (SecurityError, OrbError) as exc:
-            return self._error(exc)
-        except KeyError as exc:
-            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        if action == "lock":
+            holder = yield from self.server.lock_holder(p["app_id"])
+            return {"holder": holder}
         return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
 
 
@@ -185,43 +143,33 @@ class CollaborationServlet(DiscoverServlet):
     def do_get(self, request, session):
         action = request.path.rsplit("/", 1)[-1]
         p = request.params
-        try:
-            if action == "poll":
-                msgs = self.server.poll_client(p["client_id"],
-                                               int(p.get("max", 32)))
-                return {"messages": msgs}
-            if action == "members":
-                return {"members": self.server.collab.members_of(
-                    p["app_id"], p.get("group", DEFAULT_GROUP))}
-        except CollaborationError as exc:
-            return self._error(exc)
-        except KeyError as exc:
-            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        if action == "poll":
+            msgs = self.server.poll_client(p["client_id"],
+                                           int(p.get("max", 32)))
+            return {"messages": msgs}
+        if action == "members":
+            return {"members": self.server.collab.members_of(
+                p["app_id"], p.get("group", DEFAULT_GROUP))}
         return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
 
     def do_post(self, request, session):
         action = request.path.rsplit("/", 1)[-1]
         p = request.params
-        try:
-            if action == "group":
-                return self._group(p)
-            if action == "mode":
-                self.server.collab.set_collaboration(
-                    p["client_id"], bool(p["enabled"]))
-                return {"ok": True}
-            if action == "chat":
-                return (yield from self._publish(
-                    p, ChatMessage(self._user(p), p["text"])))
-            if action == "whiteboard":
-                return (yield from self._publish(
-                    p, WhiteboardMessage(self._user(p), p["shape"],
-                                         p.get("points", []))))
-            if action == "share":
-                return self._share(p)
-        except (SecurityError, CollaborationError, OrbError) as exc:
-            return self._error(exc)
-        except KeyError as exc:
-            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        if action == "group":
+            return self._group(p)
+        if action == "mode":
+            self.server.collab.set_collaboration(
+                p["client_id"], bool(p["enabled"]))
+            return {"ok": True}
+        if action == "chat":
+            return (yield from self._publish(
+                p, ChatMessage(self._user(p), p["text"])))
+        if action == "whiteboard":
+            return (yield from self._publish(
+                p, WhiteboardMessage(self._user(p), p["shape"],
+                                     p.get("points", []))))
+        if action == "share":
+            return self._share(p)
         return (BAD_REQUEST, {"error": f"unknown action {action!r}"})
 
     def _user(self, p) -> str:
@@ -261,25 +209,20 @@ class ArchiveServlet(DiscoverServlet):
     def do_get(self, request, session):
         action = request.path.rsplit("/", 1)[-1]
         p = request.params
-        try:
-            if action == "interactions":
-                records = yield from self.server.replay_interactions(
-                    p["client_id"], p["app_id"],
-                    float(p.get("since", 0.0)),
-                    int(p["limit"]) if "limit" in p else None)
-                return {"records": records}
-            if action == "applog":
-                records = yield from self.server.replay_app_log(
-                    p["client_id"], p["app_id"],
-                    float(p.get("since", 0.0)),
-                    int(p["limit"]) if "limit" in p else None)
-                return {"records": records}
-            if action == "catchup":
-                records = yield from self.server.latecomer_catchup(
-                    p["client_id"], p["app_id"], int(p.get("n", 20)))
-                return {"records": records}
-        except (SecurityError, CollaborationError) as exc:
-            return self._error(exc)
-        except KeyError as exc:
-            return (BAD_REQUEST, {"error": f"missing parameter {exc}"})
+        if action == "interactions":
+            records = yield from self.server.replay_interactions(
+                p["client_id"], p["app_id"],
+                float(p.get("since", 0.0)),
+                int(p["limit"]) if "limit" in p else None)
+            return {"records": records}
+        if action == "applog":
+            records = yield from self.server.replay_app_log(
+                p["client_id"], p["app_id"],
+                float(p.get("since", 0.0)),
+                int(p["limit"]) if "limit" in p else None)
+            return {"records": records}
+        if action == "catchup":
+            records = yield from self.server.latecomer_catchup(
+                p["client_id"], p["app_id"], int(p.get("n", 20)))
+            return {"records": records}
         return (BAD_REQUEST, {"error": f"unknown action {action!r}"})

@@ -31,7 +31,9 @@ from repro.core.security import (
     SecurityManager,
 )
 from repro.core.interfaces import CORBA_PROXY, DISCOVER_CORBA_SERVER
+from repro.metrics import PipelineMetrics
 from repro.net.costs import CostModel
+from repro.pipeline.core import PLANE_CHANNEL, PLANE_HTTP, PLANE_ORB, Pipeline
 from repro.orb import ObjectRef, Orb, OrbError, ServiceOffer
 from repro.orb.idl import Stub, make_stub, validate_servant
 from repro.web import ServletContainer
@@ -100,10 +102,18 @@ class DiscoverServer:
             self.sim, self.name, buffer_capacity=client_buffer_capacity)
         self.db = Database()
         self.archive = SessionArchive(self.sim, self.db)
-        self.container = ServletContainer(host, port=http_port,
-                                          cost_model=self.costs)
-        self.daemon = DaemonService(self)
-        self.orb = Orb(host, cost_model=self.costs)
+        #: §6.3 resource accounting + access policies — enforced at every
+        #: plane's front door by its pipeline's admission interceptor
+        self.policies = PolicyManager()
+        #: per-plane request counters/latencies shared by all three chains
+        self.pipeline_metrics = PipelineMetrics()
+        self.container = ServletContainer(
+            host, port=http_port, cost_model=self.costs,
+            pipeline=self._build_pipeline(PLANE_HTTP))
+        self.daemon = DaemonService(
+            self, pipeline=self._build_pipeline(PLANE_CHANNEL))
+        self.orb = Orb(host, cost_model=self.costs,
+                       pipeline=self._build_pipeline(PLANE_ORB))
 
         # -- state -----------------------------------------------------------
         self.local_proxies: Dict[str, ApplicationProxy] = {}
@@ -123,15 +133,11 @@ class DiscoverServer:
         #: update to the server finishing its fan-out (the E1 metric)
         self.recorder = None
 
-        #: §6.3 resource accounting + access policies for peer traffic
-        self.policies = PolicyManager()
-
         # -- wiring ------------------------------------------------------------
         self.corba_servant = DiscoverCorbaServerServant(self)
         validate_servant(self.corba_servant, DISCOVER_CORBA_SERVER)
         self.corba_ref = self.orb.activate(
             self.corba_servant, key="DiscoverCorbaServer")
-        self.orb.admission = self._admit_orb_request
         self._peer_stubs: Dict[str, Stub] = {}
         self._proxy_stubs: Dict[str, Stub] = {}
         handlers.mount_all(self)
@@ -680,11 +686,18 @@ class DiscoverServer:
         except OrbError:
             pass
 
-    def _admit_orb_request(self, principal: str, operation: str,
-                           size: int) -> None:
-        """§6.3 enforcement point: account (and possibly reject) every
-        incoming ORB request by its originating host."""
-        self.policies.check(principal or "anonymous", self.sim.now, size)
+    def _build_pipeline(self, plane: str) -> Pipeline:
+        """Assemble one plane's default interceptor chain:
+        metrics → error envelope → security → admission → handler."""
+        # Late import: repro.pipeline.interceptors imports this package.
+        from repro.pipeline.interceptors import default_pipeline
+        network = self.host.network
+        return default_pipeline(plane, clock=lambda: self.sim.now,
+                                metrics=self.pipeline_metrics,
+                                security=self.security,
+                                policies=self.policies,
+                                trace=network.trace
+                                if network is not None else None)
 
     def _charge_async(self, cost: float) -> None:
         """Account CPU work without blocking the calling dispatch path."""

@@ -3,14 +3,21 @@
 - :class:`LatencyRecorder` — collects per-operation latencies and reduces
   them to summary statistics (mean / percentiles).
 - :class:`ThroughputMeter` — counts events over virtual-time windows.
+- :class:`PipelineMetrics` — per-plane request/error counters and latency
+  histograms fed by the request pipeline's metrics interceptor.
 - :class:`SummaryStats` — the reduction product, printable as table rows.
 """
 
-from repro.metrics.collectors import LatencyRecorder, ThroughputMeter
+from repro.metrics.collectors import (
+    LatencyRecorder,
+    PipelineMetrics,
+    ThroughputMeter,
+)
 from repro.metrics.stats import SummaryStats, summarize
 
 __all__ = [
     "LatencyRecorder",
+    "PipelineMetrics",
     "SummaryStats",
     "ThroughputMeter",
     "summarize",

@@ -52,6 +52,75 @@ class LatencyRecorder:
         self._open.clear()
 
 
+class PipelineMetrics:
+    """Per-plane request counters and latency histograms.
+
+    Fed by :class:`~repro.pipeline.interceptors.MetricsInterceptor` as
+    every request on any plane (http / orb / channel) unwinds its
+    interceptor chain; one shared instance per
+    :class:`~repro.core.server.DiscoverServer` makes all three planes
+    report into one place.  Latencies are virtual seconds spent inside
+    the pipeline (dispatch + handler), excluding the transport costs
+    charged before the chain starts.
+    """
+
+    def __init__(self) -> None:
+        self._requests: Dict[str, int] = defaultdict(int)
+        self._errors: Dict[str, int] = defaultdict(int)
+        self._error_types: Dict[str, Dict[str, int]] = {}
+        self._latencies: Dict[str, List[float]] = defaultdict(list)
+
+    def observe(self, plane: str, latency: Optional[float] = None,
+                error_type: Optional[str] = None) -> None:
+        """Record one completed request on ``plane``."""
+        self._requests[plane] += 1
+        if latency is not None:
+            self._latencies[plane].append(latency)
+        if error_type is not None:
+            self._errors[plane] += 1
+            by_type = self._error_types.setdefault(plane, defaultdict(int))
+            by_type[error_type] += 1
+
+    # -- reduction --------------------------------------------------------
+    def requests(self, plane: Optional[str] = None) -> int:
+        if plane is None:
+            return sum(self._requests.values())
+        return self._requests.get(plane, 0)
+
+    def errors(self, plane: Optional[str] = None) -> int:
+        if plane is None:
+            return sum(self._errors.values())
+        return self._errors.get(plane, 0)
+
+    def error_types(self, plane: str) -> Dict[str, int]:
+        return dict(self._error_types.get(plane, ()))
+
+    def latency_stats(self, plane: str) -> SummaryStats:
+        return summarize(self._latencies.get(plane, ()))
+
+    def planes(self) -> List[str]:
+        return sorted(self._requests)
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary (latencies in milliseconds) for reports."""
+        out = {}
+        for plane in self.planes():
+            stats = self.latency_stats(plane).scaled(1e3)
+            out[plane] = {
+                "requests": self._requests[plane],
+                "errors": self._errors.get(plane, 0),
+                "mean_latency_ms": stats.mean,
+                "p90_latency_ms": stats.p90,
+            }
+        return out
+
+    def clear(self) -> None:
+        self._requests.clear()
+        self._errors.clear()
+        self._error_types.clear()
+        self._latencies.clear()
+
+
 class ThroughputMeter:
     """Counts events and reports rates over the elapsed virtual time."""
 

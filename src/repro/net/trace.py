@@ -35,6 +35,14 @@ class TrafficTrace:
         self.total = LinkCounter()
         #: frames that reached an unbound destination port
         self.dropped = LinkCounter()
+        #: plane-qualified id of the last pipeline request completed (set
+        #: by the metrics interceptor) — correlates a snapshot with the
+        #: request that was in flight when it was taken
+        self.last_request_id: str = ""
+
+    def tag_request(self, trace_id: str) -> None:
+        """Mark ``trace_id`` (e.g. ``"http-17"``) as the latest request."""
+        self.last_request_id = trace_id
 
     def record_dropped(self, frame: "Frame") -> None:
         """Count one undeliverable frame (destination port unbound)."""
@@ -73,10 +81,12 @@ class TrafficTrace:
         self.per_channel.clear()
         self.total = LinkCounter()
         self.dropped = LinkCounter()
+        self.last_request_id = ""
 
     def snapshot(self) -> dict:
         """A plain-dict summary for reports."""
         return {
+            "last_request_id": self.last_request_id,
             "total_messages": self.total.messages,
             "total_bytes": self.total.bytes,
             "wan_messages": self.wan_messages,

@@ -15,7 +15,6 @@ would on a real ORB's thread pool.
 
 from __future__ import annotations
 
-import inspect
 import itertools
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
@@ -28,14 +27,9 @@ from repro.orb.errors import (
     OrbError,
     RemoteException,
 )
-from repro.orb.giop import (
-    STATUS_OK,
-    STATUS_SYSTEM_EXC,
-    STATUS_USER_EXC,
-    GiopReply,
-    GiopRequest,
-)
+from repro.orb.giop import STATUS_OK, STATUS_SYSTEM_EXC, GiopReply, GiopRequest
 from repro.orb.reference import ObjectRef
+from repro.pipeline.core import PLANE_ORB, Pipeline, RequestContext
 from repro.sim import AnyOf
 from repro.wire import freeze_size
 
@@ -56,7 +50,8 @@ class Orb:
     """An object request broker attached to one simulated host."""
 
     def __init__(self, host: "Host", port: int = DEFAULT_ORB_PORT,
-                 cost_model: Optional[CostModel] = None) -> None:
+                 cost_model: Optional[CostModel] = None,
+                 pipeline: Optional[Pipeline] = None) -> None:
         self.host = host
         self.sim = host.sim
         self.port = port
@@ -67,10 +62,15 @@ class Orb:
         self._req_seq = itertools.count(1)
         #: bootstrap references (e.g. "NameService", "TradingService")
         self.initial_references: Dict[str, ObjectRef] = {}
-        #: optional admission hook ``(principal, operation, size) -> None``;
-        #: raising rejects the request with a system exception — the
-        #: enforcement point for §6.3 resource policies
-        self.admission = None
+        if pipeline is None:
+            # Late import: repro.pipeline.interceptors imports the core
+            # managers, which import this module.
+            from repro.pipeline.interceptors import default_pipeline
+            pipeline = default_pipeline(PLANE_ORB,
+                                        clock=lambda: self.sim.now)
+        #: interceptor chain every incoming request (two-way *and* oneway)
+        #: dispatches through — §6.3 admission plugs in here
+        self.pipeline = pipeline
         self._dispatcher_proc = self.sim.spawn(
             self._dispatcher(), name=f"orb@{host.name}")
         self._shut_down = False
@@ -178,29 +178,31 @@ class Orb:
     def _serve(self, req: GiopRequest, size: int, src_host: str = ""):
         # Server-side dispatch occupies the host CPU.
         yield from self.host.use_cpu(self.costs.corba_cost(size))
-        status, result, exc_type, exc_msg = STATUS_OK, None, "", ""
-        try:
-            if self.admission is not None:
-                self.admission(src_host, req.operation, size)
-            servant = self.adapter.servant(req.object_key)
-            op = getattr(servant, req.operation, None)
-            if op is None or req.operation.startswith("_") or not callable(op):
-                raise BadOperation(
-                    f"{type(servant).__name__} has no operation "
-                    f"{req.operation!r}")
-            outcome = op(*req.args, **req.kwargs)
-            if inspect.isgenerator(outcome):
-                result = yield from outcome
-            else:
-                result = outcome
-        except (ObjectNotFound, BadOperation, CommFailure) as exc:
-            status = STATUS_SYSTEM_EXC
-            exc_type, exc_msg = type(exc).__name__, str(exc)
-        except Exception as exc:  # noqa: BLE001 - servant errors cross the wire
-            status = STATUS_USER_EXC
-            exc_type, exc_msg = type(exc).__name__, str(exc)
+        ctx = RequestContext(PLANE_ORB, request_id=req.request_id,
+                             principal=src_host, operation=req.operation,
+                             size=size, request=req)
+        result = yield from self.pipeline.execute(ctx,
+                                                  self._dispatch_servant)
         if req.oneway:
             return
-        reply = GiopReply(req.request_id, status, result, exc_type, exc_msg)
+        if ctx.attrs.get("error_type"):
+            reply = ctx.response  # GiopReply built by the error envelope
+        else:
+            reply = GiopReply(req.request_id, STATUS_OK, result, "", "")
         self.endpoint.send(req.reply_host, req.reply_port, reply,
                            channel="corba")
+
+    def _dispatch_servant(self, ctx: RequestContext):
+        """Pipeline handler: look the servant up and run the operation.
+
+        Returns the operation's outcome (the pipeline drives generator
+        operations); every failure propagates to the chain, where the
+        error envelope maps it to a CORBA system or user exception."""
+        req: GiopRequest = ctx.request
+        servant = self.adapter.servant(req.object_key)
+        op = getattr(servant, req.operation, None)
+        if op is None or req.operation.startswith("_") or not callable(op):
+            raise BadOperation(
+                f"{type(servant).__name__} has no operation "
+                f"{req.operation!r}")
+        return op(*req.args, **req.kwargs)

@@ -1,0 +1,225 @@
+"""The standard cross-cutting interceptors shared by all three planes.
+
+Each class wraps code that previously lived inline in one dispatch path:
+
+- :class:`SecurityInterceptor` — first-level authentication at the
+  dispatch boundary (the daemon's pre-assigned application token check,
+  §4.1) and the seam for per-plane ACL enforcement (§5.2.2).
+- :class:`AdmissionInterceptor` — §6.3 resource policies: per-principal
+  token buckets (requests/s, bytes/s) plus :class:`UsageLedger`
+  accounting, formerly the ORB-only ``admission`` attribute.
+- :class:`ErrorEnvelopeInterceptor` — one error envelope per plane,
+  absorbing the per-servlet ``_error`` helpers and the ad-hoc try/except
+  blocks the planes used to carry.
+- :class:`MetricsInterceptor` — per-plane request counts and latency
+  samples into :class:`repro.metrics.PipelineMetrics`, with the
+  plane-qualified request id threaded into the network's
+  :class:`~repro.net.trace.TrafficTrace` for end-to-end correlation.
+
+Dispatch modules (``repro.web.container``, ``repro.orb.core``,
+``repro.core.daemon``) must not import ``repro.core.security`` or
+``repro.core.policies`` directly — policy and auth code reaches a plane
+only through this module (enforced by ``tools/check_pipeline_boundary.py``
+in CI).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.collaboration import CollaborationError
+from repro.core.locking import LockError
+from repro.core.policies import PolicyManager
+from repro.core.security import SecurityError, SecurityManager
+from repro.metrics import PipelineMetrics
+from repro.orb.errors import BadOperation, CommFailure, ObjectNotFound, OrbError
+from repro.orb.giop import STATUS_SYSTEM_EXC, STATUS_USER_EXC, GiopReply
+from repro.pipeline.core import (
+    PLANE_CHANNEL,
+    PLANE_HTTP,
+    PLANE_ORB,
+    Interceptor,
+    Pipeline,
+    RequestContext,
+)
+from repro.web.http import (
+    BAD_REQUEST,
+    CONFLICT,
+    FORBIDDEN,
+    NOT_FOUND,
+    SERVER_ERROR,
+)
+from repro.wire import AckMessage, RegisterMessage
+
+
+class SecurityInterceptor(Interceptor):
+    """First-level auth at the dispatch boundary (two-level security, §5.2.2).
+
+    On the channel plane it authenticates registering applications against
+    their pre-assigned tokens (§4.1) before any proxy state is created.
+    The HTTP and ORB planes authenticate at the session/servant layer
+    (login and per-app ACLs); this interceptor is their seam for future
+    transport-level checks.
+    """
+
+    name = "security"
+
+    def __init__(self, security: SecurityManager) -> None:
+        self.security = security
+
+    def before(self, ctx: RequestContext) -> None:
+        if ctx.plane == PLANE_CHANNEL and isinstance(ctx.request,
+                                                     RegisterMessage):
+            msg = ctx.request
+            if not self.security.authenticate_application(msg.app_name,
+                                                          msg.auth_token):
+                raise SecurityError("authentication failed")
+
+
+class AdmissionInterceptor(Interceptor):
+    """§6.3 resource policies at every plane's front door.
+
+    Accounts each request against the principal's :class:`UsageLedger`
+    record and rejects it with :class:`PolicyViolation` when a token
+    bucket (requests/s or bytes/s) is exhausted.  Replaces the ORB-only
+    ``admission`` attribute, so oneway ORB calls, HTTP requests, and
+    channel messages all drain the same buckets.
+    """
+
+    name = "admission"
+
+    def __init__(self, policies: PolicyManager,
+                 planes: Optional[Iterable[str]] = None) -> None:
+        self.policies = policies
+        self.planes = frozenset(planes) if planes is not None else None
+
+    def before(self, ctx: RequestContext) -> None:
+        if self.planes is not None and ctx.plane not in self.planes:
+            return
+        now = ctx.started_at if ctx.started_at is not None else 0.0
+        self.policies.check(ctx.principal or "anonymous", now, ctx.size)
+
+
+class ErrorEnvelopeInterceptor(Interceptor):
+    """Uniform error envelopes for all three planes.
+
+    Absorbs any exception escaping the handler (or a ``before`` hook
+    further in) and converts it to the plane's reply shape, recording the
+    exception class name in ``ctx.attrs["error_type"]`` so the same
+    failure is observable identically on every plane:
+
+    - HTTP: a ``(status, {"error": message})`` body — the mapping the
+      per-servlet ``_error`` helpers used to duplicate (SecurityError→403,
+      LockError→409, CollaborationError→404, OrbError→502-ish 500,
+      KeyError/ValueError→400, anything else→500).
+    - ORB: a :class:`GiopReply` — CORBA system exceptions for the ORB's
+      own failures, user exceptions for everything a servant raised.
+    - channel: a negative :class:`AckMessage` for registrations; other
+      channel messages have no reply path, so the error is absorbed
+      silently (the daemon listener must never die on a bad message).
+    """
+
+    name = "error-envelope"
+
+    def on_error(self, ctx: RequestContext) -> None:
+        exc = ctx.error
+        if exc is None:
+            return
+        ctx.attrs["error_type"] = type(exc).__name__
+        if ctx.plane == PLANE_ORB:
+            system = isinstance(exc, (ObjectNotFound, BadOperation,
+                                      CommFailure))
+            status = STATUS_SYSTEM_EXC if system else STATUS_USER_EXC
+            request_id = getattr(ctx.request, "request_id", ctx.request_id)
+            ctx.response = GiopReply(request_id, status, None,
+                                     type(exc).__name__, str(exc))
+        elif ctx.plane == PLANE_CHANNEL:
+            if isinstance(ctx.request, RegisterMessage):
+                ctx.response = AckMessage(ctx.request.msg_id, ok=False,
+                                          info=str(exc))
+        else:
+            ctx.response = (self.http_status(exc),
+                            {"error": self.http_message(exc)})
+        ctx.error = None
+
+    @staticmethod
+    def http_status(exc: BaseException) -> int:
+        """The HTTP status one middleware exception maps to."""
+        if isinstance(exc, SecurityError):
+            return FORBIDDEN
+        if isinstance(exc, LockError):
+            return CONFLICT
+        if isinstance(exc, CollaborationError):
+            return NOT_FOUND
+        if isinstance(exc, (KeyError, ValueError)):
+            return BAD_REQUEST
+        return SERVER_ERROR
+
+    @staticmethod
+    def http_message(exc: BaseException) -> str:
+        """The HTTP error-body message for one middleware exception."""
+        if isinstance(exc, (SecurityError, LockError, CollaborationError)):
+            return str(exc)
+        if isinstance(exc, OrbError):
+            return f"peer failure: {exc}"
+        if isinstance(exc, KeyError):
+            return f"missing parameter {exc}"
+        if isinstance(exc, ValueError):
+            return f"bad parameters: {exc}"
+        return f"{type(exc).__name__}: {exc}"
+
+
+class MetricsInterceptor(Interceptor):
+    """Per-plane request counters and latency histograms (ROADMAP: make the
+    middleware observable before scaling it further).
+
+    Feeds a shared :class:`repro.metrics.PipelineMetrics` and, when given
+    the network's :class:`~repro.net.trace.TrafficTrace`, tags it with the
+    plane-qualified request id so a traffic snapshot taken after a request
+    completes can be correlated with that request end-to-end.
+    """
+
+    name = "metrics"
+
+    def __init__(self, metrics: PipelineMetrics, plane: Optional[str] = None,
+                 trace=None) -> None:
+        self.metrics = metrics
+        self.plane = plane
+        self.trace = trace
+
+    def _observe(self, ctx: RequestContext, error_type: Optional[str]) -> None:
+        self.metrics.observe(self.plane or ctx.plane, latency=ctx.elapsed,
+                             error_type=error_type)
+        if self.trace is not None:
+            self.trace.tag_request(ctx.trace_id)
+
+    def after(self, ctx: RequestContext) -> None:
+        self._observe(ctx, ctx.attrs.get("error_type"))
+
+    def on_error(self, ctx: RequestContext) -> None:
+        # an error nothing further in absorbed: still count the request
+        self._observe(ctx, type(ctx.error).__name__)
+
+
+def default_pipeline(plane: str, *,
+                     clock: Optional[Callable[[], float]] = None,
+                     metrics: Optional[PipelineMetrics] = None,
+                     security: Optional[SecurityManager] = None,
+                     policies: Optional[PolicyManager] = None,
+                     trace=None) -> Pipeline:
+    """The standard chain for one plane: metrics → envelope → security →
+    admission → handler (security/admission only when managers are given).
+
+    Bare components (a :class:`~repro.web.ServletContainer` or
+    :class:`~repro.orb.Orb` outside a :class:`DiscoverServer`) call this
+    with just a clock; :class:`~repro.core.server.DiscoverServer` passes
+    its shared managers so all three planes report into one place.
+    """
+    chain = [MetricsInterceptor(metrics if metrics is not None
+                                else PipelineMetrics(), plane, trace=trace),
+             ErrorEnvelopeInterceptor()]
+    if security is not None:
+        chain.append(SecurityInterceptor(security))
+    if policies is not None:
+        chain.append(AdmissionInterceptor(policies))
+    return Pipeline(chain, clock=clock)

@@ -2,18 +2,23 @@
 
 Request lifecycle per the paper's commodity web-server tier: accept →
 (create or resolve session) → charge the host CPU the HTTP service cost →
-route by path prefix → run the servlet → reply to the caller's endpoint.
-Concurrent requests queue on the host CPU, which is what saturates a server
-past ~20 polling clients (experiment E2).
+run the request pipeline (security / admission / error envelope / metrics
+interceptors around longest-prefix servlet routing) → reply to the
+caller's endpoint.  Concurrent requests queue on the host CPU, which is
+what saturates a server past ~20 polling clients (experiment E2).
+
+Cross-cutting concerns live in :mod:`repro.pipeline` — this module only
+routes; it must not import ``repro.core.security`` or
+``repro.core.policies`` (CI enforces the boundary).
 """
 
 from __future__ import annotations
 
-import inspect
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.net.costs import CostModel
-from repro.web.http import NOT_FOUND, SERVER_ERROR, HttpRequest, HttpResponse
+from repro.pipeline.core import PLANE_HTTP, Pipeline, RequestContext
+from repro.web.http import NOT_FOUND, HttpRequest
 from repro.web.servlet import Servlet
 from repro.web.session import SessionManager
 
@@ -29,13 +34,22 @@ class ServletContainer:
 
     def __init__(self, host: "Host", port: int = DEFAULT_HTTP_PORT,
                  cost_model: Optional[CostModel] = None,
-                 session_timeout: float = 1800.0) -> None:
+                 session_timeout: float = 1800.0,
+                 pipeline: Optional[Pipeline] = None) -> None:
         self.host = host
         self.sim = host.sim
         self.port = port
         self.costs = cost_model or CostModel()
         self.endpoint = host.bind(port)
         self.sessions = SessionManager(timeout=session_timeout)
+        if pipeline is None:
+            # Late import: repro.pipeline.interceptors imports the core
+            # managers, which import this module.
+            from repro.pipeline.interceptors import default_pipeline
+            pipeline = default_pipeline(PLANE_HTTP,
+                                        clock=lambda: self.sim.now)
+        #: interceptor chain every request dispatches through
+        self.pipeline = pipeline
         self._servlets: Dict[str, Servlet] = {}
         self._acceptor = self.sim.spawn(self._accept_loop(),
                                         name=f"http@{host.name}")
@@ -108,20 +122,20 @@ class ServletContainer:
         # Accept + servlet-engine dispatch cost on this host's CPU.
         yield from self.host.use_cpu(
             self.costs.http_cost(frame.size, new_session=new_session))
-        servlet = self.servlet_for(request.path)
-        if servlet is None:
-            response = HttpResponse(request.request_id, NOT_FOUND,
-                                    {"error": f"no servlet at {request.path}"})
-        else:
-            try:
-                outcome = servlet.service(request, session)
-                if inspect.isgenerator(outcome):
-                    outcome = yield from outcome
-                response = Servlet.normalize(request, outcome)
-            except Exception as exc:  # noqa: BLE001 - servlet errors -> 500
-                response = HttpResponse(request.request_id, SERVER_ERROR,
-                                        {"error": f"{type(exc).__name__}: "
-                                                  f"{exc}"})
+        ctx = RequestContext(PLANE_HTTP, request_id=request.request_id,
+                             principal=frame.src_host,
+                             operation=request.path, size=frame.size,
+                             request=request)
+
+        def route(_ctx):
+            servlet = self.servlet_for(request.path)
+            if servlet is None:
+                return (NOT_FOUND,
+                        {"error": f"no servlet at {request.path}"})
+            return servlet.service(request, session)
+
+        result = yield from self.pipeline.execute(ctx, route)
+        response = Servlet.normalize(request, result)
         if new_session:
             response.set_cookie = session.session_id
         self.requests_served += 1

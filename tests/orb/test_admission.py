@@ -1,9 +1,9 @@
-"""ORB-level tests for the admission hook (the §6.3 enforcement point)."""
+"""ORB-plane admission via the request pipeline (§6.3 enforcement point)."""
 
-import pytest
-
+from repro.core.policies import PolicyManager, ResourcePolicy
 from repro.net import Network
 from repro.orb import Orb, RemoteException
+from repro.pipeline import AdmissionInterceptor, Interceptor
 from repro.sim import Simulator
 from tests.conftest import drive
 
@@ -11,6 +11,16 @@ from tests.conftest import drive
 class Echo:
     def echo(self, x):
         return x
+
+
+class Recording(Interceptor):
+    name = "recording"
+
+    def __init__(self):
+        self.seen = []
+
+    def before(self, ctx):
+        self.seen.append((ctx.principal, ctx.operation, ctx.size))
 
 
 def make_pair():
@@ -25,33 +35,33 @@ def make_pair():
     return sim, corb, sorb, ref
 
 
-def test_admission_hook_sees_principal_operation_size():
+def test_interceptor_sees_principal_operation_size():
     sim, corb, sorb, ref = make_pair()
-    seen = []
-    sorb.admission = lambda principal, op, size: seen.append(
-        (principal, op, size))
+    rec = Recording()
+    sorb.pipeline = sorb.pipeline.extended(rec)
 
     def caller():
         return (yield from corb.invoke(ref, "echo", 42))
 
     assert drive(sim, caller()) == 42
-    assert len(seen) == 1
-    principal, op, size = seen[0]
+    assert len(rec.seen) == 1
+    principal, op, size = rec.seen[0]
     assert principal == "caller"
     assert op == "echo"
     assert size > 0
 
 
-def test_admission_rejection_becomes_remote_exception():
+def test_rejection_becomes_remote_exception():
     sim, corb, sorb, ref = make_pair()
 
     class Denied(Exception):
         pass
 
-    def deny(principal, op, size):
-        raise Denied(f"{principal} not welcome")
+    class Deny(Interceptor):
+        def before(self, ctx):
+            raise Denied(f"{ctx.principal} not welcome")
 
-    sorb.admission = deny
+    sorb.pipeline = sorb.pipeline.extended(Deny())
 
     def caller():
         try:
@@ -63,17 +73,39 @@ def test_admission_rejection_becomes_remote_exception():
 
 
 def test_admission_applies_to_oneway_too():
+    # The pre-pipeline ORB only guarded two-way calls via its admission
+    # attribute; both paths now dispatch through the same chain, so token
+    # buckets drain on oneway traffic as well.
     sim, corb, sorb, ref = make_pair()
-    seen = []
-    sorb.admission = lambda principal, op, size: seen.append(op)
-    corb.invoke_oneway(ref, "echo", 1)
+    policies = PolicyManager()
+    policies.set_policy("caller", ResourcePolicy(max_requests_per_s=1.0,
+                                                 burst_seconds=1.0))
+    sorb.pipeline = sorb.pipeline.extended(AdmissionInterceptor(policies))
+    for _ in range(5):
+        corb.invoke_oneway(ref, "echo", 1)
     sim.run()
-    assert seen == ["echo"]
+    usage = policies.ledger.usage("caller")
+    assert usage.requests + usage.rejected == 5
+    assert usage.requests >= 1
+    assert usage.rejected >= 1
 
 
-def test_no_admission_hook_admits_everything():
+def test_oneway_and_twoway_share_the_same_chain():
     sim, corb, sorb, ref = make_pair()
-    assert sorb.admission is None
+    rec = Recording()
+    sorb.pipeline = sorb.pipeline.extended(rec)
+    corb.invoke_oneway(ref, "echo", 1)
+
+    def caller():
+        return (yield from corb.invoke(ref, "echo", 2))
+
+    assert drive(sim, caller()) == 2
+    assert [op for _, op, _ in rec.seen] == ["echo", "echo"]
+
+
+def test_default_pipeline_admits_everything():
+    sim, corb, sorb, ref = make_pair()
+    assert sorb.pipeline.find(AdmissionInterceptor) is None
 
     def caller():
         return (yield from corb.invoke(ref, "echo", "ok"))

@@ -1,0 +1,16 @@
+"""The CI boundary lint must hold on the checked-in tree."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parents[2]
+
+
+def test_dispatch_modules_do_not_import_security_or_policies():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_pipeline_boundary.py"),
+         str(ROOT)],
+        capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 0, proc.stderr
+    assert "pipeline boundary OK" in proc.stdout

@@ -1,0 +1,138 @@
+"""The shared error envelope: identical payload shapes on every plane."""
+
+from repro import AppConfig, PortalError, build_single_server
+from repro.apps import SyntheticApp
+from repro.core.collaboration import CollaborationError
+from repro.core.locking import LockError
+from repro.core.security import SecurityError
+from repro.net import Network
+from repro.orb import Orb, OrbError, RemoteException
+from repro.pipeline.core import PLANE_CHANNEL, PLANE_HTTP, PLANE_ORB
+from repro.sim import Simulator
+from repro.web import HttpClient, HttpError, Servlet, ServletContainer
+from tests.conftest import drive
+
+
+class RaisingServlet(Servlet):
+    """Raises whatever exception the query names."""
+
+    EXCEPTIONS = {
+        "security": SecurityError("no access"),
+        "lock": LockError("lock held"),
+        "collab": CollaborationError("unknown client"),
+        "orb": OrbError("peer down"),
+        "key": KeyError("client_id"),
+        "value": ValueError("not a number"),
+        "other": RuntimeError("servlet exploded"),
+    }
+
+    def do_get(self, request, session):
+        raise self.EXCEPTIONS[request.params["kind"]]
+
+
+def make_site():
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("www")
+    net.add_host("browser")
+    net.add_link("www", "browser", 0.001)
+    container = ServletContainer(net.hosts["www"])
+    container.mount("/raise", RaisingServlet())
+    client = HttpClient(net.hosts["browser"], "www")
+    return sim, container, client
+
+
+def fetch(sim, client, kind):
+    def go():
+        try:
+            yield from client.get("/raise", {"kind": kind})
+        except HttpError as exc:
+            return exc.status, exc.body
+
+    return drive(sim, go())
+
+
+def test_http_envelope_statuses_and_payload_shape():
+    sim, container, client = make_site()
+    expected = {
+        "security": (403, "no access"),
+        "lock": (409, "lock held"),
+        "collab": (404, "unknown client"),
+        "orb": (500, "peer failure: peer down"),
+        "key": (400, "missing parameter 'client_id'"),
+        "value": (400, "bad parameters: not a number"),
+        "other": (500, "RuntimeError: servlet exploded"),
+    }
+    for kind, (status, message) in expected.items():
+        got_status, body = fetch(sim, client, kind)
+        assert got_status == status, kind
+        # every error, on every path, has the exact same payload shape
+        assert set(body) == {"error"}, kind
+        assert body["error"] == message, kind
+
+
+def test_denied_acl_same_error_type_on_http_and_orb_planes():
+    """Satellite regression: one SecurityError class on both request planes.
+
+    bob may read ``shared`` (so his login succeeds) but has no entry on
+    ``private``'s ACL.  Selecting it over HTTP must 403 with the same
+    exception type the ORB plane reports when the CorbaProxy denies the
+    equivalent ``get_interface`` call.
+    """
+    collab = build_single_server()
+    collab.run_bootstrap()
+    cfg = AppConfig(steps_per_phase=2, step_time=0.01,
+                    interaction_window=0.05)
+    collab.add_app(0, SyntheticApp, "shared",
+                   acl={"alice": "write", "bob": "read"}, config=cfg)
+    private = collab.add_app(0, SyntheticApp, "private",
+                             acl={"alice": "write"}, config=cfg)
+    collab.sim.run(until=2.0)
+    server = collab.server_of(0)
+    portal = collab.add_portal(0)
+
+    def http_side():
+        yield from portal.login("bob")
+        try:
+            yield from portal.open(private.app_id)
+        except PortalError as exc:
+            return exc.status
+
+    assert drive(collab.sim, http_side()) == 403
+
+    # Same denial over the ORB plane: a raw invocation of the app's
+    # CorbaProxy servant (what a peer server would relay).
+    client_host = collab.domains[0].client_hosts[-1]
+    corb = Orb(client_host)
+    ref = server.corba_proxy_refs[private.app_id]
+
+    def orb_side():
+        try:
+            yield from corb.invoke(ref, "get_interface", "bob")
+        except RemoteException as exc:
+            return exc.exc_type
+
+    assert drive(collab.sim, orb_side()) == "SecurityError"
+
+    # both planes recorded the identical error type in the shared metrics
+    metrics = server.pipeline_metrics
+    assert metrics.error_types(PLANE_HTTP).get("SecurityError", 0) >= 1
+    assert metrics.error_types(PLANE_ORB).get("SecurityError", 0) >= 1
+
+
+def test_channel_register_rejection_is_enveloped():
+    """A bad app token yields the envelope's negative ack — the daemon
+    neither dies nor consumes an application id."""
+    collab = build_single_server()
+    collab.run_bootstrap()
+    server = collab.server_of(0)
+    server.security.app_tokens["impostor"] = "the-real-token"
+    app = collab.add_app(0, SyntheticApp, "impostor", acl={"u": "write"},
+                         config=AppConfig(register_timeout=5.0),
+                         auth_token="wrong-token")
+    collab.sim.run(until=8.0)
+    assert not app.registered
+    assert server.local_proxies == {}
+    assert server.daemon.next_app_id().endswith("#a1")  # id not consumed
+    assert server.pipeline_metrics.error_types(
+        PLANE_CHANNEL).get("SecurityError", 0) >= 1

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Lint: dispatch modules must reach security/policy code only through
+the request pipeline.
+
+The three dispatch planes (``repro.web.container``, ``repro.orb.core``,
+``repro.core.daemon``) route requests; cross-cutting concerns live in
+:mod:`repro.pipeline.interceptors`.  Importing ``repro.core.security`` or
+``repro.core.policies`` from a dispatch module re-inlines a concern the
+pipeline refactor pulled out — this script fails CI when that happens.
+
+Usage: python tools/check_pipeline_boundary.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: dispatch-plane modules, relative to the repo root
+DISPATCH_MODULES = (
+    "src/repro/web/container.py",
+    "src/repro/orb/core.py",
+    "src/repro/core/daemon.py",
+)
+
+#: modules only the pipeline (and the assembly layer) may import
+FORBIDDEN = ("repro.core.security", "repro.core.policies")
+
+
+def forbidden_imports(path: Path) -> list:
+    """(lineno, module) pairs for every forbidden import in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            names = [node.module or ""]
+        else:
+            continue
+        for name in names:
+            for banned in FORBIDDEN:
+                if name == banned or name.startswith(banned + "."):
+                    hits.append((node.lineno, name))
+    return hits
+
+
+def main(argv) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    failures = []
+    for rel in DISPATCH_MODULES:
+        path = root / rel
+        if not path.exists():
+            failures.append(f"{rel}: dispatch module missing")
+            continue
+        for lineno, name in forbidden_imports(path):
+            failures.append(
+                f"{rel}:{lineno}: imports {name} — security/policy code "
+                f"must flow through repro.pipeline interceptors")
+    if failures:
+        print("pipeline boundary violations:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"pipeline boundary OK ({len(DISPATCH_MODULES)} dispatch modules "
+          f"clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
