@@ -32,7 +32,7 @@ def _discovery_run(n_domains: int) -> dict:
     def probe():
         from repro.core.server import SERVICE_ID
         # warm resolution so "cached" is truly cached
-        ref = yield from server._remote_proxy_ref(app_id)
+        ref = yield from server.registry.remote_proxy_ref(app_id)
         for _ in range(REPEATS):
             recorder.start("trader_query", 0)
             yield from server.orb.invoke(server.trader_ref, "query",

@@ -42,20 +42,33 @@ def format_table(rows: Sequence[Dict], columns: Sequence[str],
 PIPELINE_KEYS = ("http_requests", "orb_requests", "channel_requests",
                  "pipeline_errors", "sessions_expired")
 
+#: federation-layer totals, also added by ``pipeline_counters``
+FEDERATION_KEYS = ("fed_subscribes", "fed_unsubscribes",
+                   "fed_invalidations", "fed_poll_failovers")
+
 
 def format_pipeline_summary(rows: Sequence[Dict]) -> str:
-    """One footer line aggregating the per-plane pipeline counters.
+    """Footer lines aggregating the per-plane pipeline counters and the
+    federation layer's subscription/invalidation totals.
 
     Returns "" when the rows carry no pipeline keys (e.g. rows loaded
     from a pre-pipeline results file)."""
     if not rows or not any(k in row for row in rows for k in PIPELINE_KEYS):
         return ""
     totals = {k: sum(row.get(k, 0) for row in rows) for k in PIPELINE_KEYS}
-    return (f"pipeline: http={totals['http_requests']} "
-            f"orb={totals['orb_requests']} "
-            f"channel={totals['channel_requests']} "
-            f"errors={totals['pipeline_errors']} "
-            f"sessions_expired={totals['sessions_expired']}")
+    out = (f"pipeline: http={totals['http_requests']} "
+           f"orb={totals['orb_requests']} "
+           f"channel={totals['channel_requests']} "
+           f"errors={totals['pipeline_errors']} "
+           f"sessions_expired={totals['sessions_expired']}")
+    if any(k in row for row in rows for k in FEDERATION_KEYS):
+        fed = {k: sum(row.get(k, 0) for row in rows)
+               for k in FEDERATION_KEYS}
+        out += (f"\nfederation: subscribes={fed['fed_subscribes']} "
+                f"unsubscribes={fed['fed_unsubscribes']} "
+                f"invalidations={fed['fed_invalidations']} "
+                f"poll_failovers={fed['fed_poll_failovers']}")
+    return out
 
 
 def print_experiment(exp_id: str, claim: str, rows: Sequence[Dict],

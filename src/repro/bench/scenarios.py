@@ -27,8 +27,11 @@ def pipeline_counters(servers) -> dict:
     """Aggregate per-plane pipeline counters across ``servers`` into the
     extra row keys every scenario reports (``http_requests``,
     ``orb_requests``, ``channel_requests``, ``pipeline_errors``,
-    ``sessions_expired``)."""
+    ``sessions_expired``), plus the federation layer's subscription and
+    cache-invalidation totals (``fed_subscribes``, ``fed_unsubscribes``,
+    ``fed_invalidations``, ``fed_poll_failovers``)."""
     http = orb = channel = errors = expired = 0
+    subscribes = unsubscribes = invalidations = failovers = 0
     for server in servers:
         metrics = server.pipeline_metrics
         http += metrics.requests(PLANE_HTTP)
@@ -36,12 +39,22 @@ def pipeline_counters(servers) -> dict:
         channel += metrics.requests(PLANE_CHANNEL)
         errors += metrics.errors()
         expired += server.container.sessions_expired
+        fed = server.federation_metrics
+        subscribes += fed.get("subscribes")
+        unsubscribes += fed.get("unsubscribes")
+        invalidations += (fed.get("app_invalidations")
+                          + fed.get("peer_invalidations"))
+        failovers += fed.get("poll_failovers")
     return {
         "http_requests": http,
         "orb_requests": orb,
         "channel_requests": channel,
         "pipeline_errors": errors,
         "sessions_expired": expired,
+        "fed_subscribes": subscribes,
+        "fed_unsubscribes": unsubscribes,
+        "fed_invalidations": invalidations,
+        "fed_poll_failovers": failovers,
     }
 
 

@@ -94,32 +94,43 @@ class DiscoverPortal:
         self.apps = body["apps"]
         return self.apps
 
+    #: maximum §4.1 redirect hops a single select may follow
+    MAX_REDIRECTS = 4
+
     def open(self, app_id: str):
         """Generator: select an application; returns an :class:`AppSession`.
 
-        If the local server answers with a redirect (§4.1's request-
-        redirection service), the portal transparently connects to the
-        application's home server — user-ids are consistent network-wide
-        (§6.3) — and the returned session speaks to that server directly.
+        If a server answers with a redirect (§4.1's request-redirection
+        service), the portal transparently connects to the named server —
+        user-ids are consistent network-wide (§6.3) — and re-selects
+        there.  The chain is bounded (:attr:`MAX_REDIRECTS`) and a server
+        that was already visited ends it immediately, so two servers
+        bouncing a stale application id between them surface as a
+        :class:`PortalError` instead of an infinite loop.
         """
-        try:
-            info = yield from self.http.post(
-                "/master/select",
-                params={"client_id": self._cid(), "app_id": app_id})
-        except HttpError as exc:
-            raise PortalError(f"select failed: {exc.body}", exc.status)
-        if isinstance(info, dict) and "redirect" in info:
-            http, client_id = yield from self._connect_to(info["redirect"])
+        http, client_id = self.http, self._cid()
+        visited = {self.server_host}
+        for _hop in range(self.MAX_REDIRECTS + 1):
             try:
                 info = yield from http.post(
                     "/master/select",
                     params={"client_id": client_id, "app_id": app_id})
             except HttpError as exc:
-                raise PortalError(f"redirected select failed: {exc.body}",
-                                  exc.status)
-            return AppSession(self, app_id, info, http=http,
-                              client_id=client_id)
-        return AppSession(self, app_id, info)
+                raise PortalError(f"select failed: {exc.body}", exc.status)
+            if not (isinstance(info, dict) and "redirect" in info):
+                if http is self.http:
+                    return AppSession(self, app_id, info)
+                return AppSession(self, app_id, info, http=http,
+                                  client_id=client_id)
+            target = info["redirect"]
+            if target in visited:
+                raise PortalError(
+                    f"redirect loop selecting {app_id!r}: "
+                    f"{target!r} was already visited")
+            visited.add(target)
+            http, client_id = yield from self._connect_to(target)
+        raise PortalError(f"select of {app_id!r} exceeded "
+                          f"{self.MAX_REDIRECTS} redirects")
 
     def _connect_to(self, server: str):
         """Generator: (HttpClient, client_id) for a secondary server."""

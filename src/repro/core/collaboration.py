@@ -95,16 +95,20 @@ class CollaborationManager:
         except KeyError:
             raise CollaborationError(f"no session {client_id!r}") from None
 
-    def drop_session(self, client_id: str) -> None:
+    def drop_session(self, client_id: str) -> Optional[ClientSession]:
+        """End a session; returns it (apps still populated) so the caller
+        can release interest the client held — e.g. unsubscribing from
+        remote applications it was the last local subscriber of."""
         session = self._sessions.pop(client_id, None)
         if session is None:
-            return
+            return None
         for key in list(session.groups):
             members = self._groups.get(key)
             if members:
                 members.discard(client_id)
                 if not members:
                     del self._groups[key]
+        return session
 
     def session_count(self) -> int:
         return len(self._sessions)

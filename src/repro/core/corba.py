@@ -77,9 +77,11 @@ class DiscoverCorbaServerServant:
         §5.2.3: "instead of sending individual collaboration messages to
         all the clients connected through a remote server, only one message
         is sent to that remote server, which then updates its locally
-        connected clients."
+        connected clients."  Routed through the server so the federation
+        layer sees ``app_stopped`` notices (cache invalidation) and can
+        record per-app staleness.
         """
-        return self.server.collab.broadcast_update(app_id, msg)
+        return self.server.on_peer_update(app_id, msg)
 
     def deliver_group_message(self, app_id: str, group: str,
                               msg: Message, exclude: str = "") -> int:

@@ -23,6 +23,7 @@ import itertools
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.proxy import ApplicationProxy
+from repro.federation.registry import home_server_of  # noqa: F401 (re-export)
 from repro.pipeline.core import PLANE_CHANNEL, Pipeline, RequestContext
 from repro.steering.application import DAEMON_PORT
 from repro.wire import (
@@ -38,11 +39,6 @@ from repro.wire import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.server import DiscoverServer
-
-
-def home_server_of(app_id: str) -> str:
-    """Extract the home server name from an application identifier."""
-    return app_id.split("#", 1)[0]
 
 
 class DaemonService:

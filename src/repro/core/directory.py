@@ -26,6 +26,8 @@ class UserDirectoryService:
         self._by_user: Dict[str, Dict[str, dict]] = {}
         #: app_id → set of users (for withdrawal)
         self._by_app: Dict[str, Set[str]] = {}
+        #: server → set of app_ids published from it (for bulk withdrawal)
+        self._by_server: Dict[str, Set[str]] = {}
 
     def publish_app(self, app_id: str, server: str, name: str,
                     acl: Dict[str, str]) -> bool:
@@ -39,6 +41,7 @@ class UserDirectoryService:
             self._by_user.setdefault(user, {})[app_id] = summary
             users.add(user)
         self._by_app[app_id] = users
+        self._by_server.setdefault(server, set()).add(app_id)
         return True
 
     def withdraw_app(self, app_id: str) -> bool:
@@ -50,7 +53,17 @@ class UserDirectoryService:
                 apps.pop(app_id, None)
                 if not apps:
                     del self._by_user[user]
+        for apps in self._by_server.values():
+            apps.discard(app_id)
         return True
+
+    def withdraw_server(self, server: str) -> int:
+        """A server is shutting down: withdraw everything it published in
+        one call; returns how many applications were removed."""
+        app_ids = self._by_server.pop(server, set())
+        for app_id in list(app_ids):
+            self.withdraw_app(app_id)
+        return len(app_ids)
 
     def authenticate(self, user: str) -> bool:
         """Network-wide level-one authentication in one lookup."""

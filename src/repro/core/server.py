@@ -18,9 +18,12 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.core import handlers
 from repro.core.archival import SessionArchive
-from repro.core.collaboration import DEFAULT_GROUP, CollaborationManager
+from repro.core.collaboration import (
+    CollaborationError,
+    CollaborationManager,
+)
 from repro.core.corba import CorbaProxyServant, DiscoverCorbaServerServant
-from repro.core.daemon import DaemonService, home_server_of
+from repro.core.daemon import DaemonService
 from repro.core.database import Database
 from repro.core.locking import LockError, LockManager
 from repro.core.policies import PolicyManager
@@ -31,11 +34,12 @@ from repro.core.security import (
     SecurityManager,
 )
 from repro.core.interfaces import CORBA_PROXY, DISCOVER_CORBA_SERVER
-from repro.metrics import PipelineMetrics
+from repro.federation import AppRouter, PeerRegistry, SubscriptionManager
+from repro.metrics import FederationMetrics, PipelineMetrics
 from repro.net.costs import CostModel
 from repro.pipeline.core import PLANE_CHANNEL, PLANE_HTTP, PLANE_ORB, Pipeline
 from repro.orb import ObjectRef, Orb, OrbError, ServiceOffer
-from repro.orb.idl import Stub, make_stub, validate_servant
+from repro.orb.idl import validate_servant
 from repro.web import ServletContainer
 from repro.wire import (
     CommandMessage,
@@ -76,7 +80,6 @@ class DiscoverServer:
         #: optional GIS-style central user directory (§6.3); when set,
         #: login is a single directory lookup instead of a peer fan-out
         self.directory_ref = directory_ref
-        self.peer_call_timeout = peer_call_timeout
         #: how updates for remote apps reach this server: "push" (home
         #: server sends one message per subscribed peer, the default) or
         #: "poll" (this server polls the CorbaProxy — the paper's literal
@@ -92,7 +95,6 @@ class DiscoverServer:
         if remote_access not in ("relay", "redirect"):
             raise ValueError(f"unknown remote_access {remote_access!r}")
         self.remote_access = remote_access
-        self._pollers: Dict[str, Any] = {}
         self._schedules: Dict[str, Any] = {}
 
         # -- components ---------------------------------------------------
@@ -115,12 +117,19 @@ class DiscoverServer:
         self.orb = Orb(host, cost_model=self.costs,
                        pipeline=self._build_pipeline(PLANE_ORB))
 
+        # -- federation (the location-transparency layer, §4–5) ------------
+        #: invalidation / subscription / staleness counters (repro.metrics)
+        self.federation_metrics = FederationMetrics()
+        self.registry = PeerRegistry(
+            self.orb, self.name, trader_ref=trader_ref,
+            service_id=SERVICE_ID, call_timeout=peer_call_timeout,
+            metrics=self.federation_metrics)
+        self.router = AppRouter(self, self.registry)
+        self.subscriptions = SubscriptionManager(self)
+
         # -- state -----------------------------------------------------------
         self.local_proxies: Dict[str, ApplicationProxy] = {}
         self.corba_proxy_refs: Dict[str, ObjectRef] = {}
-        #: peer server name → DiscoverCorbaServer reference
-        self.peers: Dict[str, ObjectRef] = {}
-        self._remote_proxy_cache: Dict[str, ObjectRef] = {}
         self.stats = {
             "updates_fanned": 0,
             "remote_update_pushes": 0,
@@ -138,8 +147,6 @@ class DiscoverServer:
         validate_servant(self.corba_servant, DISCOVER_CORBA_SERVER)
         self.corba_ref = self.orb.activate(
             self.corba_servant, key="DiscoverCorbaServer")
-        self._peer_stubs: Dict[str, Stub] = {}
-        self._proxy_stubs: Dict[str, Stub] = {}
         handlers.mount_all(self)
 
     # ------------------------------------------------------------------
@@ -154,52 +161,28 @@ class DiscoverServer:
         return (yield from self.orb.invoke(
             self.trader_ref, "export", offer, timeout=self.peer_call_timeout))
 
+    @property
+    def peers(self) -> Dict[str, ObjectRef]:
+        """Peer server name → level-one reference (the registry's view)."""
+        return self.registry.peers
+
+    @property
+    def peer_call_timeout(self) -> float:
+        """Timeout for peer-network calls (owned by the registry; stubs
+        created after a change pick up the new value)."""
+        return self.registry.call_timeout
+
+    @peer_call_timeout.setter
+    def peer_call_timeout(self, value: float) -> None:
+        self.registry.call_timeout = value
+
     def discover_peers(self):
         """Generator: find every other DISCOVER server via the trader."""
-        if self.trader_ref is None:
-            return []
-        offers = yield from self.orb.invoke(
-            self.trader_ref, "query", SERVICE_ID,
-            timeout=self.peer_call_timeout)
-        found = []
-        for offer in offers:
-            peer = offer.properties.get("server", offer.ref.host)
-            if peer == self.name:
-                continue
-            self.peers[peer] = offer.ref
-            found.append(peer)
-        return found
+        return (yield from self.registry.discover_peers())
 
     def add_peer(self, name: str, ref: ObjectRef) -> None:
         """Static peer wiring (tests / fixed deployments)."""
-        if name != self.name:
-            self.peers[name] = ref
-
-    def peer_stub(self, name: str) -> Stub:
-        """Typed level-one stub for a known peer server."""
-        stub = self._peer_stubs.get(name)
-        if stub is None or stub.ref != self.peers.get(name):
-            try:
-                ref = self.peers[name]
-            except KeyError:
-                raise OrbError(f"no peer server {name!r} known at "
-                               f"{self.name}") from None
-            stub = make_stub(self.orb, ref, DISCOVER_CORBA_SERVER,
-                             timeout=self.peer_call_timeout)
-            self._peer_stubs[name] = stub
-        return stub
-
-    def proxy_stub(self, app_id: str, ref: ObjectRef) -> Stub:
-        """Typed level-two stub for a remote application's CorbaProxy."""
-        stub = self._proxy_stubs.get(app_id)
-        if stub is None or stub.ref != ref:
-            stub = make_stub(self.orb, ref, CORBA_PROXY,
-                             timeout=self.peer_call_timeout)
-            self._proxy_stubs[app_id] = stub
-        return stub
-
-    def is_local_app(self, app_id: str) -> bool:
-        return home_server_of(app_id) == self.name
+        self.registry.add_peer(name, ref)
 
     # ------------------------------------------------------------------
     # application-side events (invoked by the daemon)
@@ -252,8 +235,7 @@ class DiscoverServer:
             msg.app_id, msg)
         # one push per subscribed remote server (§5.2.3)
         for peer in proxy.remote_subscribers:
-            if peer in self.peers:
-                self.peer_stub(peer).deliver_update(msg.app_id, msg)
+            if self.registry.push_update(peer, msg.app_id, msg):
                 self.stats["remote_update_pushes"] += 1
         if self.recorder is not None:
             self.recorder.record("update_lag", self.sim.now - msg.timestamp)
@@ -291,8 +273,25 @@ class DiscoverServer:
                               sender=self.name)
         self.collab.broadcast_update(app_id, note)
         for peer in proxy.remote_subscribers:
-            if peer in self.peers:
-                self.peer_stub(peer).deliver_update(app_id, note)
+            self.registry.push_update(peer, app_id, note)
+        self.router.forget(app_id)
+
+    def on_peer_update(self, app_id: str, msg: Message) -> int:
+        """A peer pushed an update for an application homed there (§5.2.3).
+
+        An ``app_stopped`` notice invalidates every cached artifact for
+        the application — the level-two stub/reference in the registry,
+        the router's handle, and the subscription lifecycle state — so a
+        later re-registration under a recycled identifier resolves fresh
+        instead of hitting a dead servant.
+        """
+        if isinstance(msg, ControlMessage) and msg.event == "app_stopped":
+            self.registry.invalidate_app(app_id)
+            self.router.forget(app_id)
+            self.subscriptions.forget(app_id)
+        else:
+            self.subscriptions.observe_update(app_id, msg)
+        return self.collab.broadcast_update(app_id, msg)
 
     # ------------------------------------------------------------------
     # client operations (driven by the servlets)
@@ -322,14 +321,7 @@ class DiscoverServer:
                     if summary["server"] != self.name:
                         remote_apps[summary["app_id"]] = summary
                 return self._finish_login(user, known_locally, remote_apps)
-        for peer in list(self.peers):
-            try:
-                apps = yield from self.peer_stub(peer).authenticate_and_list(
-                    user)
-            except OrbError:
-                continue  # peer down — availability "determined at runtime"
-            for summary in apps:
-                remote_apps[summary["app_id"]] = summary
+        remote_apps = yield from self.registry.collect_remote_apps(user)
         return self._finish_login(user, known_locally, remote_apps)
 
     def _finish_login(self, user: str, known_locally: bool,
@@ -351,7 +343,11 @@ class DiscoverServer:
             if proc is not None and proc.is_alive:
                 proc.interrupt("logout")
         self.locks.drop_client(client_id)
-        self.collab.drop_session(client_id)
+        session = self.collab.drop_session(client_id)
+        if session is not None:
+            # push mode: unsubscribe any remote app this was the last
+            # local subscriber of, so its home server stops fanning out
+            self.subscriptions.detach_idle(session.apps)
 
     def visible_apps(self, user: str) -> List[dict]:
         """Local applications ``user`` can access, with privileges."""
@@ -373,61 +369,20 @@ class DiscoverServer:
 
     def select_app(self, client_id: str, app_id: str):
         """Generator: second-level auth + subscription; returns the
-        customized steering interface (§5.2.2)."""
+        customized steering interface (§5.2.2).
+
+        Location-transparent: the router resolves the application to a
+        handle and the handle does the rest — a local security check, an
+        ORB relay to the home server, or (``redirect`` remote-access mode)
+        an instruction for the portal to go to the home server itself.
+        """
         session = self.collab.session(client_id)
-        user = session.user
-        if self.is_local_app(app_id):
-            privilege = self.security.app_privilege(user, app_id)
-            if privilege is None:
-                raise SecurityError(f"{user!r} has no access to {app_id!r}")
-            proxy = self._local_proxy(app_id)
-            yield from self.host.use_cpu(self.costs.auth_check_cost)
-            info = {"app_id": app_id, "name": proxy.app_name,
-                    "privilege": privilege, "interface": proxy.interface,
-                    "last_update": proxy.last_update}
-        else:
-            if self.remote_access == "redirect":
-                # §4.1's request-redirection service: send the portal to
-                # the application's home server instead of relaying.
-                return {"redirect": home_server_of(app_id),
-                        "app_id": app_id}
-            ref = yield from self._remote_proxy_ref(app_id)
-            stub = self.proxy_stub(app_id, ref)
-            info = yield from stub.get_interface(user)
-            if self.update_mode == "push":
-                yield from stub.subscribe_server(self.name)
-            else:
-                self._ensure_poller(app_id, ref)
+        handle = self.router.resolve(app_id)
+        info = yield from handle.open(session.user)
+        if "redirect" in info:
+            return info  # the portal re-selects at the home server
         self.collab.subscribe(client_id, app_id)
         return info
-
-    def _ensure_poller(self, app_id: str, ref: ObjectRef) -> None:
-        poller = self._pollers.get(app_id)
-        if poller is not None and poller.is_alive:
-            return
-        self._pollers[app_id] = self.sim.spawn(
-            self._poll_remote_updates(app_id, ref),
-            name=f"poll-{app_id}@{self.name}")
-
-    def _poll_remote_updates(self, app_id: str, ref: ObjectRef):
-        """Poll the remote CorbaProxy for updates while local clients care."""
-        last_seq = 0
-        idle_rounds = 0
-        while idle_rounds < 3 or self.collab.local_subscribers(app_id):
-            yield self.sim.timeout(self.update_poll_interval)
-            if not self.collab.local_subscribers(app_id):
-                idle_rounds += 1
-                continue
-            idle_rounds = 0
-            try:
-                updates = yield from self.proxy_stub(
-                    app_id, ref).get_updates_since(last_seq)
-            except OrbError:
-                continue
-            for update in updates:
-                last_seq = max(last_seq, update.seq)
-                self.collab.broadcast_update(app_id, update)
-        self._pollers.pop(app_id, None)
 
     def submit_command(self, client_id: str, app_id: str, command: str,
                        args: Optional[dict] = None):
@@ -438,20 +393,9 @@ class DiscoverServer:
         request id whose response will arrive on the client's poll stream.
         """
         session = self.collab.session(client_id)
-        args = args or {}
         self.stats["commands_submitted"] += 1
-        if self.is_local_app(app_id):
-            return self.submit_local_command(session.user, client_id, app_id,
-                                             command, args)
-        remote = getattr(session, "remote_apps", {}).get(app_id)
-        if remote is None:
-            raise SecurityError(f"{session.user!r} has no access to "
-                                f"{app_id!r}")
-        ref = yield from self._remote_proxy_ref(app_id)
-        self.stats["remote_commands_relayed"] += 1
-        request_id = yield from self.proxy_stub(app_id, ref).deliver_command(
-            session.user, client_id, command, args)
-        return request_id
+        return (yield from self.router.resolve(app_id).deliver_command(
+            session, command, args or {}))
 
     def submit_local_command(self, user: str, client_id: str, app_id: str,
                              command: str, args: dict,
@@ -550,27 +494,17 @@ class DiscoverServer:
     def acquire_lock(self, client_id: str, app_id: str):
         """Generator: acquire the steering lock (relayed if remote)."""
         self.collab.session(client_id)  # validates
-        if self.is_local_app(app_id):
-            self._local_proxy(app_id)
-            return self.locks.acquire(app_id, client_id)
-        ref = yield from self._remote_proxy_ref(app_id)
-        return (yield from self.proxy_stub(app_id, ref)
+        return (yield from self.router.resolve(app_id)
                 .acquire_lock(client_id))
 
     def release_lock(self, client_id: str, app_id: str):
         """Generator: release the steering lock (relayed if remote)."""
-        if self.is_local_app(app_id):
-            return self.locks.release(app_id, client_id)
-        ref = yield from self._remote_proxy_ref(app_id)
-        return (yield from self.proxy_stub(app_id, ref)
+        return (yield from self.router.resolve(app_id)
                 .release_lock(client_id))
 
     def lock_holder(self, app_id: str):
         """Generator: current lock holder (relayed if remote)."""
-        if self.is_local_app(app_id):
-            return self.locks.holder_of(app_id)
-        ref = yield from self._remote_proxy_ref(app_id)
-        return (yield from self.proxy_stub(app_id, ref).lock_holder())
+        return (yield from self.router.resolve(app_id).lock_holder())
 
     def _on_lock_grant(self, app_id: str, client_id: str) -> None:
         msg = LockMessage("granted", holder=client_id, app_id=app_id,
@@ -599,12 +533,8 @@ class DiscoverServer:
         self.collab.session(client_id)
         msg.app_id = app_id
         msg.client_id = client_id
-        if self.is_local_app(app_id):
-            return self.publish_local_group(app_id, group, msg,
-                                            exclude=client_id)
-        ref = yield from self._remote_proxy_ref(app_id)
-        return (yield from self.proxy_stub(app_id, ref)
-                .publish_group_message(group, msg, exclude=client_id))
+        return (yield from self.router.resolve(app_id)
+                .publish_group(group, msg, exclude=client_id))
 
     def publish_local_group(self, app_id: str, group: str, msg: Message,
                             exclude: Optional[str] = None) -> int:
@@ -614,9 +544,8 @@ class DiscoverServer:
         proxy = self.local_proxies.get(app_id)
         if proxy is not None:
             for peer in proxy.remote_subscribers:
-                if peer in self.peers:
-                    self.peer_stub(peer).deliver_group_message(
-                        app_id, group, msg, exclude=exclude or "")
+                self.registry.push_group_message(peer, app_id, group, msg,
+                                                 exclude=exclude or "")
         return count
 
     # -- archival -------------------------------------------------------------
@@ -625,29 +554,21 @@ class DiscoverServer:
                             limit: Optional[int] = None):
         """Generator: a client's replayable interaction history (§5.2.5)."""
         session = self.collab.session(client_id)
-        records = self.archive.replay_interactions(app_id, session.user,
-                                                   since, limit)
-        yield from self.host.use_cpu(
-            self.costs.log_read_cost * max(1, len(records)))
-        return records
+        return (yield from self.router.resolve(app_id)
+                .replay_interactions(session.user, since, limit))
 
     def replay_app_log(self, client_id: str, app_id: str,
                        since: float = 0.0, limit: Optional[int] = None):
         """Generator: the application's archived history."""
         session = self.collab.session(client_id)
-        records = self.archive.replay_app_log(app_id, session.user, since,
-                                              limit)
-        yield from self.host.use_cpu(
-            self.costs.log_read_cost * max(1, len(records)))
-        return records
+        return (yield from self.router.resolve(app_id)
+                .replay_app_log(session.user, since, limit))
 
     def latecomer_catchup(self, client_id: str, app_id: str, n: int = 20):
         """Generator: recent interactions for a late group joiner."""
         session = self.collab.session(client_id)
-        records = self.archive.latecomer_catchup(app_id, session.user, n)
-        yield from self.host.use_cpu(
-            self.costs.log_read_cost * max(1, len(records)))
-        return records
+        return (yield from self.router.resolve(app_id)
+                .latecomer_catchup(session.user, n))
 
     # ------------------------------------------------------------------
     # internals
@@ -658,16 +579,6 @@ class DiscoverServer:
             raise SecurityError(f"unknown application {app_id!r}")
         return proxy
 
-    def _remote_proxy_ref(self, app_id: str):
-        """Generator: resolve (and cache) a remote app's CorbaProxy ref."""
-        ref = self._remote_proxy_cache.get(app_id)
-        if ref is not None:
-            return ref
-        home = home_server_of(app_id)
-        ref = yield from self.peer_stub(home).get_corba_proxy(app_id)
-        self._remote_proxy_cache[app_id] = ref
-        return ref
-
     def _route_to_client(self, client_id: str, msg: Message) -> None:
         if self.collab.owner_server(client_id) == self.name:
             self.collab.push_to_client(client_id, msg)
@@ -676,8 +587,7 @@ class DiscoverServer:
 
     def _push_remote_client(self, client_id: str, msg: Message) -> None:
         owner = self.collab.owner_server(client_id)
-        if owner in self.peers:
-            self.peer_stub(owner).deliver_to_client(client_id, msg)
+        self.registry.push_to_client(owner, client_id, msg)
 
     def _withdraw_from_directory(self, app_id: str):
         try:
@@ -709,3 +619,24 @@ class DiscoverServer:
         self.container.stop()
         self.daemon.stop()
         self.orb.shutdown()
+
+    def shutdown(self):
+        """Generator: graceful shutdown — notify subscribed peers that
+        every local application stopped, withdraw this server's users from
+        the central directory in one call (§6.3), then stop serving."""
+        for app_id, proxy in list(self.local_proxies.items()):
+            proxy.mark_stopped()
+            note = ControlMessage("app_stopped", detail=app_id,
+                                  app_id=app_id, sender=self.name)
+            self.collab.broadcast_update(app_id, note)
+            for peer in proxy.remote_subscribers:
+                self.registry.push_update(peer, app_id, note)
+            self.router.forget(app_id)
+        if self.directory_ref is not None:
+            try:
+                yield from self.orb.invoke(
+                    self.directory_ref, "withdraw_server", self.name,
+                    timeout=self.peer_call_timeout)
+            except OrbError:
+                pass  # directory down: stale entries age out on lookup
+        self.stop()

@@ -1,0 +1,215 @@
+"""PeerRegistry: peer discovery, liveness, and reference caches.
+
+§5.2.1: "The application identifier is chosen to be a combination of the
+server's IP address and a local count of the applications on each server
+... the server's IP address can be extracted from this application
+identifier, making it very easy to determine if the application is a local
+application or a remote application."  :func:`home_server_of` implements
+that extraction; everything else here manages *how to reach* the home
+server once it is known.
+
+The registry owns every cached artifact of the peer network — the
+level-one peer stubs, the level-two ``CorbaProxy`` stubs, and the resolved
+``CorbaProxy`` references — together with their invalidation rules:
+
+- an ``app_stopped`` notice drops the application's proxy stub + ref;
+- an :class:`~repro.orb.OrbError` from a peer call drops the peer's stub
+  (and the proxy caches of applications homed there), so a restarted peer
+  or re-registered application is re-resolved instead of served stale;
+- re-registration always resolves fresh (application ids are never
+  reused, but the rule keeps the cache honest under replays).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.interfaces import CORBA_PROXY, DISCOVER_CORBA_SERVER
+from repro.orb import ObjectRef, OrbError
+from repro.orb.idl import Stub, make_stub
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics import FederationMetrics
+    from repro.orb import Orb
+
+
+def home_server_of(app_id: str) -> str:
+    """Extract the home server name from an application identifier."""
+    return app_id.split("#", 1)[0]
+
+
+class PeerRegistry:
+    """One server's map of the peer network and its reference caches."""
+
+    def __init__(self, orb: "Orb", server_name: str, *,
+                 trader_ref: Optional[ObjectRef] = None,
+                 service_id: str = "DISCOVER",
+                 call_timeout: float = 30.0,
+                 metrics: Optional["FederationMetrics"] = None) -> None:
+        self.orb = orb
+        self.server_name = server_name
+        self.trader_ref = trader_ref
+        self.service_id = service_id
+        self.call_timeout = call_timeout
+        self.metrics = metrics
+        #: peer server name → level-one DiscoverCorbaServer reference
+        self.peers: Dict[str, ObjectRef] = {}
+        self._peer_stubs: Dict[str, Stub] = {}
+        self._proxy_stubs: Dict[str, Stub] = {}
+        #: app_id → resolved CorbaProxy reference (level-two cache)
+        self._proxy_refs: Dict[str, ObjectRef] = {}
+
+    # -- discovery ---------------------------------------------------------
+    def discover_peers(self):
+        """Generator: find every other DISCOVER server via the trader."""
+        if self.trader_ref is None:
+            return []
+        offers = yield from self.orb.invoke(
+            self.trader_ref, "query", self.service_id,
+            timeout=self.call_timeout)
+        found = []
+        for offer in offers:
+            peer = offer.properties.get("server", offer.ref.host)
+            if peer == self.server_name:
+                continue
+            self.add_peer(peer, offer.ref)
+            found.append(peer)
+        return found
+
+    def add_peer(self, name: str, ref: ObjectRef) -> None:
+        """Static peer wiring (tests / fixed deployments).
+
+        Re-adding a peer under a changed reference (a restarted server)
+        drops every cache derived from the old reference.
+        """
+        if name == self.server_name:
+            return
+        if self.peers.get(name) != ref:
+            self.invalidate_peer(name)
+        self.peers[name] = ref
+
+    def known_peers(self) -> List[str]:
+        return sorted(self.peers)
+
+    def check_peer(self, name: str):
+        """Generator: liveness probe; False (and caches dropped) if dead."""
+        try:
+            answer = yield from self.peer_stub(name).ping()
+        except OrbError:
+            self.invalidate_peer(name)
+            return False
+        return answer == name
+
+    # -- typed stubs -------------------------------------------------------
+    def peer_stub(self, name: str) -> Stub:
+        """Typed level-one stub for a known peer server."""
+        stub = self._peer_stubs.get(name)
+        if stub is None or stub.ref != self.peers.get(name):
+            try:
+                ref = self.peers[name]
+            except KeyError:
+                raise OrbError(f"no peer server {name!r} known at "
+                               f"{self.server_name}") from None
+            stub = make_stub(self.orb, ref, DISCOVER_CORBA_SERVER,
+                             timeout=self.call_timeout)
+            self._peer_stubs[name] = stub
+        return stub
+
+    def proxy_stub(self, app_id: str, ref: ObjectRef) -> Stub:
+        """Typed level-two stub for a remote application's CorbaProxy."""
+        stub = self._proxy_stubs.get(app_id)
+        if stub is None or stub.ref != ref:
+            stub = make_stub(self.orb, ref, CORBA_PROXY,
+                             timeout=self.call_timeout)
+            self._proxy_stubs[app_id] = stub
+        return stub
+
+    def remote_proxy_ref(self, app_id: str):
+        """Generator: resolve (and cache) a remote app's CorbaProxy ref."""
+        ref = self._proxy_refs.get(app_id)
+        if ref is not None:
+            return ref
+        home = home_server_of(app_id)
+        try:
+            ref = yield from self.peer_stub(home).get_corba_proxy(app_id)
+        except OrbError:
+            self.invalidate_peer(home)
+            raise
+        self._proxy_refs[app_id] = ref
+        return ref
+
+    def remote_proxy_stub(self, app_id: str):
+        """Generator: resolved, cached level-two stub for a remote app."""
+        ref = yield from self.remote_proxy_ref(app_id)
+        return self.proxy_stub(app_id, ref)
+
+    # -- invalidation ------------------------------------------------------
+    def invalidate_app(self, app_id: str) -> None:
+        """Drop the level-two caches of one application."""
+        dropped = (self._proxy_stubs.pop(app_id, None) is not None)
+        dropped = (self._proxy_refs.pop(app_id, None) is not None) or dropped
+        if dropped and self.metrics is not None:
+            self.metrics.count("app_invalidations")
+
+    def invalidate_peer(self, name: str) -> None:
+        """Drop the peer's stub and every proxy cache homed at it.
+
+        The peer's discovery entry (``self.peers``) survives — availability
+        is "determined at runtime" (§4.2), so the next call re-resolves
+        through the same reference, or re-discovery replaces it.
+        """
+        dropped = self._peer_stubs.pop(name, None) is not None
+        for app_id in [a for a in self._proxy_refs
+                       if home_server_of(a) == name]:
+            self._proxy_refs.pop(app_id, None)
+            dropped = True
+        for app_id in [a for a in self._proxy_stubs
+                       if home_server_of(a) == name]:
+            self._proxy_stubs.pop(app_id, None)
+            dropped = True
+        if dropped and self.metrics is not None:
+            self.metrics.count("peer_invalidations")
+
+    def cached_apps(self) -> List[str]:
+        """App ids with a live level-two cache entry (for tests/inspection)."""
+        return sorted(set(self._proxy_refs) | set(self._proxy_stubs))
+
+    # -- level-one fan-out helpers ----------------------------------------
+    def collect_remote_apps(self, user: str) -> dict:
+        """Generator: the §5.2.2 login fan-out — authenticate ``user`` with
+        every peer and merge the application summaries they return."""
+        found: Dict[str, dict] = {}
+        for peer in list(self.peers):
+            try:
+                apps = yield from self.peer_stub(peer).authenticate_and_list(
+                    user)
+            except OrbError:
+                # peer down — availability "determined at runtime"
+                self.invalidate_peer(peer)
+                continue
+            for summary in apps:
+                found[summary["app_id"]] = summary
+        return found
+
+    def push_update(self, peer: str, app_id: str, msg) -> bool:
+        """Oneway §5.2.3 update push to a subscribed peer (if known)."""
+        if peer not in self.peers:
+            return False
+        self.peer_stub(peer).deliver_update(app_id, msg)
+        return True
+
+    def push_group_message(self, peer: str, app_id: str, group: str, msg,
+                           exclude: str = "") -> bool:
+        """Oneway group-message push to a subscribed peer (if known)."""
+        if peer not in self.peers:
+            return False
+        self.peer_stub(peer).deliver_group_message(app_id, group, msg,
+                                                   exclude=exclude)
+        return True
+
+    def push_to_client(self, owner: str, client_id: str, msg) -> bool:
+        """Oneway response/notification push to the client's home server."""
+        if owner not in self.peers:
+            return False
+        self.peer_stub(owner).deliver_to_client(client_id, msg)
+        return True

@@ -1,0 +1,52 @@
+"""AppRouter: ``app_id → AppHandle`` resolution.
+
+The single place where the middleware decides whether an application is
+local or remote (§5.2.1's identifier scheme).  Every request plane asks
+the router for a handle and drives the handle's generator interface; the
+``if is_local_app(...)`` branching that used to be copy-pasted through
+``DiscoverServer`` collapses into :meth:`AppRouter.resolve`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.federation.handles import (
+    AppHandle,
+    LocalAppHandle,
+    RemoteAppHandle,
+)
+from repro.federation.registry import home_server_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.server import DiscoverServer
+    from repro.federation.registry import PeerRegistry
+
+
+class AppRouter:
+    """Resolves application ids to location-transparent handles."""
+
+    def __init__(self, server: "DiscoverServer",
+                 registry: "PeerRegistry") -> None:
+        self.server = server
+        self.registry = registry
+        self._handles: Dict[str, AppHandle] = {}
+
+    def is_local(self, app_id: str) -> bool:
+        """Whether ``app_id`` is homed at this server (§5.2.1)."""
+        return home_server_of(app_id) == self.server.name
+
+    def resolve(self, app_id: str) -> AppHandle:
+        """The handle for ``app_id`` (cached; stubs resolve lazily)."""
+        handle = self._handles.get(app_id)
+        if handle is None:
+            if self.is_local(app_id):
+                handle = LocalAppHandle(self.server, app_id)
+            else:
+                handle = RemoteAppHandle(self.server, self.registry, app_id)
+            self._handles[app_id] = handle
+        return handle
+
+    def forget(self, app_id: str) -> None:
+        """Drop a cached handle (deregistration / ``app_stopped``)."""
+        self._handles.pop(app_id, None)

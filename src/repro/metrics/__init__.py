@@ -5,10 +5,13 @@
 - :class:`ThroughputMeter` — counts events over virtual-time windows.
 - :class:`PipelineMetrics` — per-plane request/error counters and latency
   histograms fed by the request pipeline's metrics interceptor.
+- :class:`FederationMetrics` — peer-cache invalidation, subscription
+  lifecycle, and per-app staleness counters fed by the federation layer.
 - :class:`SummaryStats` — the reduction product, printable as table rows.
 """
 
 from repro.metrics.collectors import (
+    FederationMetrics,
     LatencyRecorder,
     PipelineMetrics,
     ThroughputMeter,
@@ -16,6 +19,7 @@ from repro.metrics.collectors import (
 from repro.metrics.stats import SummaryStats, summarize
 
 __all__ = [
+    "FederationMetrics",
     "LatencyRecorder",
     "PipelineMetrics",
     "SummaryStats",

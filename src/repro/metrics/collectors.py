@@ -121,6 +121,51 @@ class PipelineMetrics:
         self._latencies.clear()
 
 
+class FederationMetrics:
+    """Counters and per-app staleness for the federation layer.
+
+    Fed by :mod:`repro.federation` — the :class:`PeerRegistry` counts
+    cache invalidations (``app_invalidations`` / ``peer_invalidations``)
+    and the :class:`SubscriptionManager` counts subscription lifecycle
+    events (``subscribes`` / ``unsubscribes`` / ``pollers_started`` /
+    ``poll_rounds`` / ``poll_failovers``).  Staleness samples are virtual
+    seconds from an application stamping an update to this server
+    receiving it over the peer network (push or poll).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._staleness: Dict[str, List[float]] = defaultdict(list)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self._counters[name] += n
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def observe_staleness(self, app_id: str, lag: float) -> None:
+        """Record one remote update's age on arrival."""
+        self._staleness[app_id].append(lag)
+
+    def staleness_stats(self, app_id: str) -> SummaryStats:
+        return summarize(self._staleness.get(app_id, ()))
+
+    def apps_observed(self) -> List[str]:
+        return sorted(self._staleness)
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary (staleness in milliseconds) for reports."""
+        out = dict(self._counters)
+        for app_id in self.apps_observed():
+            out[f"staleness_ms[{app_id}]"] = (
+                self.staleness_stats(app_id).scaled(1e3).mean)
+        return out
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._staleness.clear()
+
+
 class ThroughputMeter:
     """Counts events and reports rates over the elapsed virtual time."""
 

@@ -99,6 +99,43 @@ def test_directory_login_rejects_unknown_user():
     assert run(collab, scenario()) == 401
 
 
+def test_directory_withdraw_server_bulk():
+    d = UserDirectoryService()
+    d.publish_app("s1#a1", "s1", "wave", {"alice": "write"})
+    d.publish_app("s1#a2", "s1", "cfd", {"alice": "read"})
+    d.publish_app("s2#a1", "s2", "heat", {"bob": "write"})
+    assert d.withdraw_server("s1") == 2
+    assert d.app_count() == 1
+    assert d.lookup("alice") == []
+    assert d.lookup("bob")[0]["app_id"] == "s2#a1"
+    assert d.withdraw_server("s1") == 0  # idempotent
+    assert d.withdraw_server("ghost") == 0
+
+
+def test_directory_withdraws_on_server_shutdown():
+    collab = build_collaboratory(2, apps_hosts_per_domain=1,
+                                 client_hosts_per_domain=1,
+                                 use_directory=True)
+    collab.run_bootstrap()
+    survivor = collab.add_app(0, SyntheticApp, "survivor",
+                              acl={"alice": "write"}, config=cfg())
+    collab.add_app(1, SyntheticApp, "doomed", acl={"alice": "write"},
+                   config=cfg())
+    collab.sim.run(until=3.0)
+    assert collab.directory.app_count() == 2
+    run(collab, collab.server_of(1).shutdown())
+    assert collab.directory.app_count() == 1
+    # a login at the surviving domain sees the withdrawal: only the
+    # surviving application remains visible network-wide
+    portal = collab.add_portal(0)
+
+    def scenario():
+        return (yield from portal.login("alice"))
+
+    apps = run(collab, scenario())
+    assert [a["app_id"] for a in apps] == [survivor.app_id]
+
+
 def test_directory_withdraws_on_app_stop():
     collab = build_collaboratory(2, apps_hosts_per_domain=1,
                                  client_hosts_per_domain=1,

@@ -1,0 +1,1 @@
+"""Tests for the location-transparency layer (repro.federation)."""

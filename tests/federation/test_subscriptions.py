@@ -1,0 +1,120 @@
+"""SubscriptionManager: push unsubscribe lifecycle and poll fallback."""
+
+from repro import build_collaboratory
+from repro.apps import SyntheticApp
+
+from tests.federation.conftest import cfg, run
+
+
+def _open_app(collab, app, domain):
+    portal = collab.add_portal(domain)
+
+    def scenario():
+        yield from portal.login("alice")
+        yield from portal.open(app.app_id)
+
+    run(collab, scenario())
+    return portal
+
+
+def test_unsubscribe_when_last_local_subscriber_leaves(pair):
+    collab, app = pair
+    s0, s1 = collab.server_of(0), collab.server_of(1)
+    first = _open_app(collab, app, 1)
+    second = _open_app(collab, app, 1)
+    proxy = s0.local_proxies[app.app_id]
+    assert s1.name in proxy.remote_subscribers
+
+    run(collab, first.logout())
+    collab.sim.run(until=collab.sim.now + 1.0)
+    # one local subscriber remains → the push subscription stays
+    assert s1.name in proxy.remote_subscribers
+    assert s1.federation_metrics.get("unsubscribes") == 0
+
+    run(collab, second.logout())
+    collab.sim.run(until=collab.sim.now + 1.0)
+    # last local subscriber gone → s1 unsubscribed itself at the home
+    assert s1.name not in proxy.remote_subscribers
+    assert s1.federation_metrics.get("unsubscribes") == 1
+    # the home server no longer pushes updates for dead subscribers
+    pushed = s0.stats["remote_update_pushes"]
+    collab.sim.run(until=collab.sim.now + 2.0)
+    assert s0.stats["remote_update_pushes"] == pushed
+
+
+def test_logout_does_not_unsubscribe_local_apps(pair):
+    collab, app = pair
+    s0 = collab.server_of(0)
+    portal = _open_app(collab, app, 0)  # same domain: app is local
+    run(collab, portal.logout())
+    collab.sim.run(until=collab.sim.now + 1.0)
+    assert s0.federation_metrics.get("unsubscribes") == 0
+
+
+def test_push_subscribes_counted(pair):
+    collab, app = pair
+    s1 = collab.server_of(1)
+    _open_app(collab, app, 1)
+    assert s1.federation_metrics.get("subscribes") >= 1
+
+
+def test_staleness_recorded_for_pushed_updates(pair):
+    collab, app = pair
+    s1 = collab.server_of(1)
+    _open_app(collab, app, 1)
+    collab.sim.run(until=collab.sim.now + 2.0)
+    assert app.app_id in s1.federation_metrics.apps_observed()
+    stats = s1.federation_metrics.staleness_stats(app.app_id)
+    assert stats.mean >= 0.0
+
+
+def _poll_collab():
+    collab = build_collaboratory(2, apps_hosts_per_domain=1,
+                                 client_hosts_per_domain=1,
+                                 update_mode="poll",
+                                 update_poll_interval=0.2)
+    for server in collab.servers.values():
+        server.peer_call_timeout = 1.0
+    collab.run_bootstrap()
+    app = collab.add_app(1, SyntheticApp, "polled",
+                         acl={"alice": "write"}, config=cfg())
+    collab.sim.run(until=3.0)
+    return collab, app
+
+
+def test_poll_mode_counts_rounds_and_delivers():
+    collab, app = _poll_collab()
+    s0 = collab.server_of(0)
+    portal = _open_app(collab, app, 0)
+    collab.sim.run(until=collab.sim.now + 2.0)
+    assert s0.federation_metrics.get("pollers_started") == 1
+    assert s0.federation_metrics.get("poll_rounds") >= 2
+    assert s0.subscriptions.active_pollers() == 1
+
+    def drain():
+        yield from portal.poll(max_items=64)
+        return len(portal.updates)
+
+    assert run(collab, drain()) >= 2
+    # polled updates record staleness too
+    assert app.app_id in s0.federation_metrics.apps_observed()
+
+
+def test_poll_failover_counted_when_home_dies():
+    collab, app = _poll_collab()
+    s0 = collab.server_of(0)
+    _open_app(collab, app, 0)
+    collab.sim.run(until=collab.sim.now + 1.0)
+    collab.server_of(1).stop()
+    collab.sim.run(until=collab.sim.now + 3.0)
+    assert s0.federation_metrics.get("poll_failovers") >= 1
+
+
+def test_poller_exits_after_idle_rounds():
+    collab, app = _poll_collab()
+    s0 = collab.server_of(0)
+    portal = _open_app(collab, app, 0)
+    run(collab, portal.logout())
+    # poller exits after three idle rounds once local interest is gone
+    collab.sim.run(until=collab.sim.now + 2.0)
+    assert s0.subscriptions.active_pollers() == 0

@@ -14,3 +14,28 @@ def test_dispatch_modules_do_not_import_security_or_policies():
         capture_output=True, text=True, timeout=60)
     assert proc.returncode == 0, proc.stderr
     assert "pipeline boundary OK" in proc.stdout
+    assert "federation boundary OK" in proc.stdout
+
+
+def test_federation_lint_catches_stub_usage(tmp_path):
+    """The lint flags is_local_app/peer_stub/proxy_stub outside
+    repro.federation — and only exact names (remote_proxy_stub is fine)."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import check_pipeline_boundary as lint
+    finally:
+        sys.path.pop(0)
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def handler(server, app_id):\n"
+        "    if server.is_local_app(app_id):\n"
+        "        return server.proxy_stub(app_id, None)\n"
+        "    return peer_stub\n")
+    hits = lint.federation_leaks(bad)
+    assert sorted(name for _, name in hits) == [
+        "is_local_app", "peer_stub", "proxy_stub"]
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        "def handler(registry, app_id):\n"
+        "    return registry.remote_proxy_stub(app_id)\n")
+    assert lint.federation_leaks(ok) == []

@@ -1,12 +1,20 @@
 #!/usr/bin/env python
-"""Lint: dispatch modules must reach security/policy code only through
-the request pipeline.
+"""Lint: architectural boundaries the refactors carved out must hold.
 
-The three dispatch planes (``repro.web.container``, ``repro.orb.core``,
-``repro.core.daemon``) route requests; cross-cutting concerns live in
-:mod:`repro.pipeline.interceptors`.  Importing ``repro.core.security`` or
-``repro.core.policies`` from a dispatch module re-inlines a concern the
-pipeline refactor pulled out — this script fails CI when that happens.
+Two checks, both AST-based:
+
+1. **Pipeline boundary** — the three dispatch planes
+   (``repro.web.container``, ``repro.orb.core``, ``repro.core.daemon``)
+   route requests; cross-cutting concerns live in
+   :mod:`repro.pipeline.interceptors`.  Importing ``repro.core.security``
+   or ``repro.core.policies`` from a dispatch module re-inlines a concern
+   the pipeline refactor pulled out.
+
+2. **Federation boundary** — location/routing concerns live in
+   :mod:`repro.federation`.  Referencing ``is_local_app`` / ``peer_stub``
+   / ``proxy_stub`` anywhere else in ``src/repro`` re-inlines the
+   local-vs-remote branching the federation refactor collapsed into
+   ``router.resolve(app_id)``.
 
 Usage: python tools/check_pipeline_boundary.py [repo_root]
 """
@@ -27,6 +35,14 @@ DISPATCH_MODULES = (
 #: modules only the pipeline (and the assembly layer) may import
 FORBIDDEN = ("repro.core.security", "repro.core.policies")
 
+#: names only repro.federation may define or touch — any use elsewhere is
+#: local-vs-remote routing leaking back out of the federation layer
+FEDERATION_ONLY_NAMES = frozenset(
+    {"is_local_app", "peer_stub", "proxy_stub"})
+
+#: the one package allowed to use those names, relative to the repo root
+FEDERATION_PACKAGE = "src/repro/federation"
+
 
 def forbidden_imports(path: Path) -> list:
     """(lineno, module) pairs for every forbidden import in ``path``."""
@@ -46,6 +62,29 @@ def forbidden_imports(path: Path) -> list:
     return hits
 
 
+def federation_leaks(path: Path) -> list:
+    """(lineno, name) pairs for federation-only names used in ``path``.
+
+    Matches attribute access (``server.peer_stub``), bare names, and
+    function/method definitions — exact names only, so e.g.
+    ``remote_proxy_stub`` (the registry's public resolver) stays legal.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = node.name
+        else:
+            continue
+        if name in FEDERATION_ONLY_NAMES:
+            hits.append((node.lineno, name))
+    return hits
+
+
 def main(argv) -> int:
     root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
     failures = []
@@ -58,13 +97,24 @@ def main(argv) -> int:
             failures.append(
                 f"{rel}:{lineno}: imports {name} — security/policy code "
                 f"must flow through repro.pipeline interceptors")
+    fed_root = root / FEDERATION_PACKAGE
+    checked = 0
+    for path in sorted((root / "src" / "repro").rglob("*.py")):
+        if fed_root in path.parents or path.parent == fed_root:
+            continue
+        checked += 1
+        rel = path.relative_to(root)
+        for lineno, name in federation_leaks(path):
+            failures.append(
+                f"{rel}:{lineno}: uses {name!r} — local-vs-remote routing "
+                f"must flow through repro.federation (router.resolve)")
     if failures:
         print("pipeline boundary violations:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
     print(f"pipeline boundary OK ({len(DISPATCH_MODULES)} dispatch modules "
-          f"clean)")
+          f"clean); federation boundary OK ({checked} modules clean)")
     return 0
 
 
