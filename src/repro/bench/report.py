@@ -71,6 +71,22 @@ def format_pipeline_summary(rows: Sequence[Dict]) -> str:
     return out
 
 
+def format_registry(registry) -> str:
+    """Text exposition of a :class:`repro.obs.MetricsRegistry` snapshot.
+
+    One ``source.dotted.key value`` line per leaf, sorted, so the unified
+    metrics surface (pipeline + federation + traffic + spans) reads the
+    same way regardless of which collectors the deployment registered.
+    """
+    lines = []
+    for key, value in registry.flattened():
+        if isinstance(value, float):
+            lines.append(f"{key} {value:.3f}")
+        else:
+            lines.append(f"{key} {value}")
+    return "\n".join(lines)
+
+
 def print_experiment(exp_id: str, claim: str, rows: Sequence[Dict],
                      columns: Sequence[str], finding: str = "") -> None:
     """Print one experiment block: id, the paper's claim, rows, finding."""

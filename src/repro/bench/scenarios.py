@@ -23,13 +23,15 @@ from repro.net.costs import CostModel, LinkSpec
 from repro.pipeline.core import PLANE_CHANNEL, PLANE_HTTP, PLANE_ORB
 
 
-def pipeline_counters(servers) -> dict:
+def pipeline_counters(servers, tracer=None) -> dict:
     """Aggregate per-plane pipeline counters across ``servers`` into the
     extra row keys every scenario reports (``http_requests``,
     ``orb_requests``, ``channel_requests``, ``pipeline_errors``,
     ``sessions_expired``), plus the federation layer's subscription and
     cache-invalidation totals (``fed_subscribes``, ``fed_unsubscribes``,
-    ``fed_invalidations``, ``fed_poll_failovers``)."""
+    ``fed_invalidations``, ``fed_poll_failovers``).  Passing the
+    deployment's tracer adds the span-store totals (``spans_recorded``,
+    ``traces_recorded``, ``spans_dropped``)."""
     http = orb = channel = errors = expired = 0
     subscribes = unsubscribes = invalidations = failovers = 0
     for server in servers:
@@ -45,7 +47,7 @@ def pipeline_counters(servers) -> dict:
         invalidations += (fed.get("app_invalidations")
                           + fed.get("peer_invalidations"))
         failovers += fed.get("poll_failovers")
-    return {
+    row = {
         "http_requests": http,
         "orb_requests": orb,
         "channel_requests": channel,
@@ -56,6 +58,11 @@ def pipeline_counters(servers) -> dict:
         "fed_invalidations": invalidations,
         "fed_poll_failovers": failovers,
     }
+    if tracer is not None:
+        row["spans_recorded"] = len(tracer.store)
+        row["traces_recorded"] = len(tracer.store.trace_ids())
+        row["spans_dropped"] = tracer.store.dropped
+    return row
 
 
 def run_app_scalability(n_apps: int, *, duration: float = 30.0,
@@ -88,7 +95,8 @@ def run_app_scalability(n_apps: int, *, duration: float = 30.0,
         # saturated = the server can no longer keep update lag below one
         # update period (work arrives faster than it drains)
         "saturated": stats.mean > update_period,
-        **pipeline_counters(collab.servers.values()),
+        **pipeline_counters(collab.servers.values(),
+                            tracer=collab.tracer),
     }
 
 
@@ -124,7 +132,8 @@ def run_client_scalability(n_clients: int, *, duration: float = 30.0,
         "p90_rtt_ms": stats.p90 * 1e3,
         "p99_rtt_ms": stats.p99 * 1e3,
         "polls": stats.count,
-        **pipeline_counters(collab.servers.values()),
+        **pipeline_counters(collab.servers.values(),
+                            tracer=collab.tracer),
     }
 
 
@@ -185,7 +194,8 @@ def run_collab_scenario(*, mode: str, n_domains: int = 3,
         "mean_update_latency_ms": stats.mean * 1e3,
         "p90_update_latency_ms": stats.p90 * 1e3,
         "updates_seen": stats.count,
-        **pipeline_counters(collab.servers.values()),
+        **pipeline_counters(collab.servers.values(),
+                            tracer=collab.tracer),
     }
 
 
@@ -225,5 +235,54 @@ def run_remote_vs_local(*, remote: bool, duration: float = 20.0,
         "p90_steer_rtt_ms": stats.p90 * 1e3,
         "commands": stats.count,
         "throughput_per_s": stats.count / duration,
-        **pipeline_counters(collab.servers.values()),
+        **pipeline_counters(collab.servers.values(),
+                            tracer=collab.tracer),
     }
+
+
+def run_traced_remote_command(*, wan_latency: float = 0.060,
+                              sampling="always"):
+    """Observability scenario: one cross-server steering command, traced.
+
+    Two domains; the application is homed in domain 1, the client's portal
+    in domain 0, so a single ``get_param`` steer crosses the WAN through
+    the full stack — portal → HTTP plane → router → federation relay →
+    GIOP client → home server's ORB plane → proxy — and the tracer
+    reconstructs it as one span tree spanning both servers.
+
+    Returns ``(row, tracer, registry)``: the scenario row, the shared
+    :class:`~repro.obs.Tracer` (its store holds the trace), and the
+    deployment's :class:`~repro.obs.MetricsRegistry`.
+    """
+    spec = LinkSpec(wan_latency=wan_latency)
+    collab = build_collaboratory(2, apps_hosts_per_domain=1,
+                                 client_hosts_per_domain=1, spec=spec,
+                                 trace_sampling=sampling)
+    collab.run_bootstrap()
+    from repro.apps import SyntheticApp
+    from repro.steering import AppConfig
+    app = collab.add_app(
+        1, SyntheticApp, "traced-target", acl={"bench": "write"},
+        config=AppConfig(steps_per_phase=1, step_time=0.005,
+                         interaction_window=0.25,
+                         command_service_time=0.002))
+    collab.sim.run(until=collab.sim.now + 2.0)
+    portal = collab.add_portal(0)
+    result = {}
+
+    def scenario():
+        yield from portal.login("bench")
+        session = yield from portal.open(app.app_id)
+        result["value"] = yield from session.steer("get_param",
+                                                   {"name": "gain"})
+
+    proc = collab.sim.spawn(scenario(), name="traced-steer")
+    collab.sim.run(until=proc)
+    tracer = collab.tracer
+    row = {
+        "wan_latency_ms": wan_latency * 1e3,
+        "virtual_time_s": collab.sim.now,
+        "result": result.get("value"),
+        **pipeline_counters(collab.servers.values(), tracer=tracer),
+    }
+    return row, tracer, collab.metrics_registry()

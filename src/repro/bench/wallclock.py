@@ -250,6 +250,26 @@ def format_report(report: Dict) -> str:
                         title="wall-clock benchmarks (lower is better)")
 
 
+def export_trace(path: str) -> Dict:
+    """Run the traced cross-server scenario and export its spans as JSONL.
+
+    Not part of the timed suite — trace capture is a side artifact (CI
+    uploads it for Perfetto inspection), so it must never perturb the
+    BENCH_*.json numbers.
+    """
+    from repro.bench.scenarios import run_traced_remote_command
+    from repro.obs import export_jsonl
+
+    row, tracer, _registry = run_traced_remote_command()
+    export_jsonl(tracer.store, path)
+    return {
+        "path": path,
+        "spans": len(tracer.store),
+        "traces": len(tracer.store.trace_ids()),
+        "result": row.get("result"),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the wall-clock performance suite.")
@@ -257,12 +277,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the JSON report to this path")
     parser.add_argument("--quick", action="store_true",
                         help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--trace-output", default=None,
+                        help="also export a JSONL span trace of the "
+                             "cross-server steering scenario")
     args = parser.parse_args(argv)
     report = run_suite(quick=args.quick)
     print(format_report(report))
     if args.output:
         write_report(args.output, report)
         print(f"report written to {args.output}")
+    if args.trace_output:
+        info = export_trace(args.trace_output)
+        print(f"trace written to {info['path']} "
+              f"({info['spans']} spans, {info['traces']} traces)")
     return 0
 
 

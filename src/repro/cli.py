@@ -6,6 +6,9 @@
     python -m repro demo                      # end-to-end steering demo
     python -m repro experiments               # list runnable experiments
     python -m repro run E2 [--quick]          # regenerate one table
+    python -m repro trace                     # trace a cross-server command
+    python -m repro trace --view critical-path
+    python -m repro trace --chrome trace.json # open in ui.perfetto.dev
 
 The full experiment suite (every table, with shape assertions) lives in
 ``benchmarks/`` and runs under ``pytest benchmarks/ --benchmark-only -s``;
@@ -108,6 +111,67 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run (or load) a traced scenario and render its span tree."""
+    from repro.bench.report import format_registry
+    from repro.obs import (
+        export_chrome,
+        export_jsonl,
+        format_critical_path,
+        format_trace_summary,
+        format_trace_tree,
+        load_jsonl,
+    )
+
+    registry = None
+    if args.input:
+        store = load_jsonl(args.input)
+        print(f"loaded {len(store)} spans "
+              f"({len(store.trace_ids())} traces) from {args.input}")
+    else:
+        from repro.bench.scenarios import run_traced_remote_command
+        row, tracer, registry = run_traced_remote_command(
+            wan_latency=args.wan_latency)
+        store = tracer.store
+        print(f"traced cross-server steer: result={row['result']} "
+              f"virtual_time={row['virtual_time_s']:.3f}s "
+              f"spans={row['spans_recorded']} "
+              f"traces={row['traces_recorded']}")
+
+    if args.trace_id is not None:
+        trace_id = args.trace_id
+    else:
+        # default to the client-visible command trace when present
+        trace_id = store.trace_of_root("portal.command")
+        if trace_id is None and store.trace_ids():
+            trace_id = store.trace_ids()[0]
+    if trace_id is None:
+        print("no traces recorded (sampling off?)", file=sys.stderr)
+        return 1
+
+    print()
+    if args.view == "summary":
+        print(format_trace_summary(store))
+    elif args.view == "dump":
+        print(format_trace_tree(store, trace_id))
+    else:  # critical-path
+        print(format_trace_tree(store, trace_id))
+        print()
+        print(format_critical_path(store, trace_id))
+
+    if args.export:
+        export_jsonl(store, args.export)
+        print(f"\nspans exported to {args.export} (JSONL)")
+    if args.chrome:
+        export_chrome(store, args.chrome)
+        print(f"\nChrome trace written to {args.chrome} "
+              f"— open in ui.perfetto.dev")
+    if registry is not None and args.metrics:
+        print("\nunified metrics snapshot:")
+        print(format_registry(registry))
+    return 0
+
+
 def cmd_demo(_args) -> int:
     """A compressed version of examples/quickstart.py."""
     from repro import AppConfig, build_single_server
@@ -150,6 +214,26 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("experiment", help="experiment id (e.g. E1)")
     run_p.add_argument("--quick", action="store_true",
                        help="smaller sweep, shorter virtual duration")
+    trace_p = sub.add_parser(
+        "trace", help="trace a cross-server command and inspect the tree")
+    trace_p.add_argument("--input", default=None,
+                         help="load spans from a JSONL export instead of "
+                              "running the scenario")
+    trace_p.add_argument("--wan-latency", type=float, default=0.060,
+                         help="one-way WAN latency in seconds "
+                              "(default 0.060)")
+    trace_p.add_argument("--view", default="critical-path",
+                         choices=("summary", "dump", "critical-path"),
+                         help="how to render the trace")
+    trace_p.add_argument("--trace-id", type=int, default=None,
+                         help="inspect a specific trace id")
+    trace_p.add_argument("--export", default=None,
+                         help="also export all spans as JSONL")
+    trace_p.add_argument("--chrome", default=None,
+                         help="also export a Chrome trace-event JSON "
+                              "(ui.perfetto.dev)")
+    trace_p.add_argument("--metrics", action="store_true",
+                         help="print the unified metrics snapshot")
     return parser
 
 
@@ -160,6 +244,7 @@ def main(argv=None) -> int:
         "demo": cmd_demo,
         "experiments": cmd_experiments,
         "run": cmd_run,
+        "trace": cmd_trace,
         None: cmd_info,
     }
     return handlers[args.command](args)

@@ -40,9 +40,15 @@ class DiscoverPortal:
     """A user's connection to their local DISCOVER server."""
 
     def __init__(self, host: "Host", server_host: str,
-                 http_port: int = 80) -> None:
+                 http_port: int = 80, tracer=None) -> None:
         self.host = host
         self.sim = host.sim
+        if tracer is None:
+            # Standalone portals trace nothing; deployments pass the
+            # shared tracer so client spans root the cross-server trees.
+            from repro.obs import SAMPLE_OFF, Tracer
+            tracer = Tracer(sampling=SAMPLE_OFF, clock=lambda: self.sim.now)
+        self.tracer = tracer
         self.http = HttpClient(host, server_host, http_port)
         self.server_host = server_host
         self.user: Optional[str] = None
@@ -108,29 +114,33 @@ class DiscoverPortal:
         bouncing a stale application id between them surface as a
         :class:`PortalError` instead of an infinite loop.
         """
-        http, client_id = self.http, self._cid()
-        visited = {self.server_host}
-        for _hop in range(self.MAX_REDIRECTS + 1):
-            try:
-                info = yield from http.post(
-                    "/master/select",
-                    params={"client_id": client_id, "app_id": app_id})
-            except HttpError as exc:
-                raise PortalError(f"select failed: {exc.body}", exc.status)
-            if not (isinstance(info, dict) and "redirect" in info):
-                if http is self.http:
-                    return AppSession(self, app_id, info)
-                return AppSession(self, app_id, info, http=http,
-                                  client_id=client_id)
-            target = info["redirect"]
-            if target in visited:
-                raise PortalError(
-                    f"redirect loop selecting {app_id!r}: "
-                    f"{target!r} was already visited")
-            visited.add(target)
-            http, client_id = yield from self._connect_to(target)
-        raise PortalError(f"select of {app_id!r} exceeded "
-                          f"{self.MAX_REDIRECTS} redirects")
+        with self.tracer.span("portal.select", plane="client",
+                              server=self.host.name,
+                              attrs={"app_id": app_id}):
+            http, client_id = self.http, self._cid()
+            visited = {self.server_host}
+            for _hop in range(self.MAX_REDIRECTS + 1):
+                try:
+                    info = yield from http.post(
+                        "/master/select",
+                        params={"client_id": client_id, "app_id": app_id})
+                except HttpError as exc:
+                    raise PortalError(f"select failed: {exc.body}",
+                                      exc.status)
+                if not (isinstance(info, dict) and "redirect" in info):
+                    if http is self.http:
+                        return AppSession(self, app_id, info)
+                    return AppSession(self, app_id, info, http=http,
+                                      client_id=client_id)
+                target = info["redirect"]
+                if target in visited:
+                    raise PortalError(
+                        f"redirect loop selecting {app_id!r}: "
+                        f"{target!r} was already visited")
+                visited.add(target)
+                http, client_id = yield from self._connect_to(target)
+            raise PortalError(f"select of {app_id!r} exceeded "
+                              f"{self.MAX_REDIRECTS} redirects")
 
     def _connect_to(self, server: str):
         """Generator: (HttpClient, client_id) for a secondary server."""
@@ -251,15 +261,22 @@ class AppSession:
     # -- raw command path ----------------------------------------------------
     def command(self, command: str, args: Optional[dict] = None):
         """Generator: submit a command; returns its request id."""
-        try:
-            body = yield from self.http.post(
-                "/command/submit",
-                params={"client_id": self._cid(),
-                        "app_id": self.app_id,
-                        "command": command, "args": args or {}})
-        except HttpError as exc:
-            raise PortalError(f"command rejected: {exc.body}", exc.status)
-        return body["request_id"]
+        tracer = self.portal.tracer
+        with tracer.span("portal.command", plane="client",
+                         server=self.portal.host.name,
+                         attrs={"app_id": self.app_id,
+                                "command": command}) as span:
+            try:
+                body = yield from self.http.post(
+                    "/command/submit",
+                    params={"client_id": self._cid(),
+                            "app_id": self.app_id,
+                            "command": command, "args": args or {}})
+            except HttpError as exc:
+                raise PortalError(f"command rejected: {exc.body}",
+                                  exc.status)
+            tracer.annotate(span, request_id=body["request_id"])
+            return body["request_id"]
 
     def steer(self, command: str, args: Optional[dict] = None,
               timeout: float = 60.0):

@@ -98,6 +98,7 @@ class DaemonService:
                                      principal=frame.src_host,
                                      operation=type(msg).__name__,
                                      size=frame.size, request=msg)
+                ctx.attrs["trace_parent"] = frame.trace_ctx
 
                 def dispatch(_ctx, frame=frame, msg=msg):
                     return self._dispatch(frame, msg)
@@ -105,7 +106,8 @@ class DaemonService:
                 reply = yield from self.pipeline.execute(ctx, dispatch)
                 if isinstance(reply, Message):
                     self.endpoint.send(frame.src_host, frame.src_port,
-                                       reply, channel="response")
+                                       reply, channel="response",
+                                       trace_ctx=ctx.attrs.get("trace_ctx"))
         except Interrupt:
             return
 

@@ -17,6 +17,7 @@ from repro.core.server import DiscoverServer
 from repro.net import Network, build_multi_domain
 from repro.net.costs import CostModel, LinkSpec
 from repro.net.topology import Domain
+from repro.obs import MetricsRegistry, Tracer
 from repro.orb import NamingService, Orb, TraderService
 from repro.sim import Simulator
 from repro.steering.application import AppConfig, SteerableApplication
@@ -27,7 +28,8 @@ class Collaboratory:
 
     def __init__(self, sim: Simulator, net: Network, domains: List[Domain],
                  servers: Dict[str, DiscoverServer], registry_orb: Orb,
-                 naming: NamingService, trader: TraderService) -> None:
+                 naming: NamingService, trader: TraderService,
+                 tracer: Optional[Tracer] = None) -> None:
         self.sim = sim
         self.net = net
         self.domains = domains
@@ -35,6 +37,9 @@ class Collaboratory:
         self.registry_orb = registry_orb
         self.naming = naming
         self.trader = trader
+        #: the deployment-wide tracer shared by every server, portal, and
+        #: the network — one trace id space, so cross-server trees join up
+        self.tracer = tracer if tracer is not None else Tracer(sim)
         self.apps: List[SteerableApplication] = []
         self.portals: List[DiscoverPortal] = []
         #: the optional §6.3 user directory (set by build_collaboratory)
@@ -77,9 +82,25 @@ class Collaboratory:
         """Create a portal on the next client host of a domain."""
         domain = self.domains[domain_index]
         host = next(self._client_host_rr[domain.name])
-        portal = DiscoverPortal(host, domain.server.name)
+        portal = DiscoverPortal(host, domain.server.name,
+                                tracer=self.tracer)
         self.portals.append(portal)
         return portal
+
+    # -- observability --------------------------------------------------------
+    def metrics_registry(self) -> MetricsRegistry:
+        """One snapshot surface over every collector in the deployment:
+        per-server pipeline + federation metrics, the network's traffic
+        trace, and the span store."""
+        registry = MetricsRegistry()
+        for name in sorted(self.servers):
+            server = self.servers[name]
+            registry.register(f"pipeline[{name}]", server.pipeline_metrics)
+            registry.register(f"federation[{name}]",
+                              server.federation_metrics)
+        registry.register("traffic", self.net.trace)
+        registry.register("spans", self.tracer)
+        return registry
 
     # -- bootstrap ------------------------------------------------------------
     def bootstrap(self):
@@ -112,21 +133,31 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
                         update_mode: str = "push",
                         update_poll_interval: float = 0.5,
                         remote_access: str = "relay",
+                        trace_sampling="always",
+                        trace_max_spans: int = 50_000,
                         sim: Optional[Simulator] = None) -> Collaboratory:
-    """Build a ready-to-bootstrap multi-domain collaboratory."""
+    """Build a ready-to-bootstrap multi-domain collaboratory.
+
+    ``trace_sampling`` / ``trace_max_spans`` configure the shared
+    :class:`~repro.obs.Tracer` (``"always"``, ``"off"``, or int N for
+    1-in-N root sampling).  Tracing is zero-event bookkeeping — it never
+    changes virtual time or wire sizes, whatever the knob says.
+    """
     sim = sim or Simulator()
     spec = spec or LinkSpec()
     costs = cost_model or CostModel()
     net, domains = build_multi_domain(
         sim, n_domains, apps_hosts_per_domain, client_hosts_per_domain,
         spec=spec, server_cpus=server_cpus, names=names)
+    tracer = Tracer(sim, sampling=trace_sampling, max_spans=trace_max_spans)
+    net.tracer = tracer
 
     # Registry host (naming + trader) on the first domain's LAN — the
     # "centralized directory service like the GIS" of §6.3.
     registry_host = net.add_host("registry", domain=domains[0].name)
     net.add_link(registry_host.name, domains[0].server.name,
                  spec.lan_latency, spec.lan_bandwidth, kind="lan")
-    registry_orb = Orb(registry_host, cost_model=costs)
+    registry_orb = Orb(registry_host, cost_model=costs, tracer=tracer)
     naming = NamingService()
     trader = TraderService(naming, sim=sim, match_cost=trader_match_cost)
     naming_ref = registry_orb.activate(naming, key=NamingService.OBJECT_KEY)
@@ -150,11 +181,12 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
             client_buffer_capacity=client_buffer_capacity,
             update_mode=update_mode,
             update_poll_interval=update_poll_interval,
-            remote_access=remote_access)
+            remote_access=remote_access,
+            tracer=tracer)
         servers[server.name] = server
 
     collab = Collaboratory(sim, net, domains, servers, registry_orb, naming,
-                           trader)
+                           trader, tracer=tracer)
     collab.directory = directory
     collab.naming_ref = naming_ref
     collab.trader_ref = trader_ref

@@ -69,7 +69,8 @@ class DiscoverServer:
                  update_mode: str = "push",
                  update_poll_interval: float = 0.5,
                  remote_access: str = "relay",
-                 http_port: int = 80) -> None:
+                 http_port: int = 80,
+                 tracer=None) -> None:
         self.host = host
         self.sim = host.sim
         self.name = host.name
@@ -109,13 +110,21 @@ class DiscoverServer:
         self.policies = PolicyManager()
         #: per-plane request counters/latencies shared by all three chains
         self.pipeline_metrics = PipelineMetrics()
+        if tracer is None:
+            # Standalone servers trace nothing; a disabled tracer keeps
+            # the request paths free of None checks.  Deployments pass
+            # one shared tracer so cross-server trees join up.
+            from repro.obs import SAMPLE_OFF, Tracer
+            tracer = Tracer(sampling=SAMPLE_OFF, clock=lambda: self.sim.now)
+        self.tracer = tracer
         self.container = ServletContainer(
             host, port=http_port, cost_model=self.costs,
             pipeline=self._build_pipeline(PLANE_HTTP))
         self.daemon = DaemonService(
             self, pipeline=self._build_pipeline(PLANE_CHANNEL))
         self.orb = Orb(host, cost_model=self.costs,
-                       pipeline=self._build_pipeline(PLANE_ORB))
+                       pipeline=self._build_pipeline(PLANE_ORB),
+                       tracer=tracer)
 
         # -- federation (the location-transparency layer, §4–5) ------------
         #: invalidation / subscription / staleness counters (repro.metrics)
@@ -405,25 +414,28 @@ class DiscoverServer:
         Enforces the per-application ACL and — for mutating commands — the
         single-driver steering lock (§5.2.4).
         """
-        proxy = self._local_proxy(app_id)
-        if not proxy.active:
-            raise LockError(f"application {app_id!r} has stopped")
-        self.security.authorize_command(user, app_id, command)
-        if command in MUTATING_COMMANDS and not self.locks.holds(
-                app_id, client_id):
-            raise LockError(
-                f"{client_id!r} must hold the steering lock on {app_id!r} "
-                f"to run {command!r}")
-        cmd = CommandMessage(command, args, request_id=request_id,
-                             client_id=client_id, app_id=app_id,
-                             sender=self.name)
-        self.archive.log_interaction(app_id, user, "command",
-                                     {"command": command,
-                                      "request_id": cmd.request_id},
-                                     readers=list(proxy.acl))
-        self._charge_async(self.costs.log_append_cost)
-        proxy.deliver_command(cmd)
-        return cmd.request_id
+        with self.tracer.span("proxy.deliver_command", plane="proxy",
+                              server=self.name,
+                              attrs={"app_id": app_id, "command": command}):
+            proxy = self._local_proxy(app_id)
+            if not proxy.active:
+                raise LockError(f"application {app_id!r} has stopped")
+            self.security.authorize_command(user, app_id, command)
+            if command in MUTATING_COMMANDS and not self.locks.holds(
+                    app_id, client_id):
+                raise LockError(
+                    f"{client_id!r} must hold the steering lock on "
+                    f"{app_id!r} to run {command!r}")
+            cmd = CommandMessage(command, args, request_id=request_id,
+                                 client_id=client_id, app_id=app_id,
+                                 sender=self.name)
+            self.archive.log_interaction(app_id, user, "command",
+                                         {"command": command,
+                                          "request_id": cmd.request_id},
+                                         readers=list(proxy.acl))
+            self._charge_async(self.costs.log_append_cost)
+            proxy.deliver_command(cmd)
+            return cmd.request_id
 
     # -- scheduled interactions (§2.1: "schedule automated periodic
     # interactions") ------------------------------------------------------
@@ -598,16 +610,14 @@ class DiscoverServer:
 
     def _build_pipeline(self, plane: str) -> Pipeline:
         """Assemble one plane's default interceptor chain:
-        metrics → error envelope → security → admission → handler."""
+        metrics → error envelope → tracing → security → admission → handler."""
         # Late import: repro.pipeline.interceptors imports this package.
         from repro.pipeline.interceptors import default_pipeline
-        network = self.host.network
         return default_pipeline(plane, clock=lambda: self.sim.now,
                                 metrics=self.pipeline_metrics,
                                 security=self.security,
                                 policies=self.policies,
-                                trace=network.trace
-                                if network is not None else None)
+                                tracer=self.tracer, server=self.name)
 
     def _charge_async(self, cost: float) -> None:
         """Account CPU work without blocking the calling dispatch path."""

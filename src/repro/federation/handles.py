@@ -148,13 +148,18 @@ class RemoteAppHandle(AppHandle):
         call re-resolves, then let the error propagate to the pipeline's
         error envelope.
         """
-        stub = yield from self._stub()
-        try:
-            return (yield from getattr(stub, op)(*args, **kwargs))
-        except OrbError:
-            self.registry.invalidate_app(self.app_id)
-            self.registry.invalidate_peer(self.home)
-            raise
+        with self.server.tracer.span(f"federation.relay.{op}",
+                                     plane="federation",
+                                     server=self.server.name,
+                                     attrs={"app_id": self.app_id,
+                                            "home": self.home}):
+            stub = yield from self._stub()
+            try:
+                return (yield from getattr(stub, op)(*args, **kwargs))
+            except OrbError:
+                self.registry.invalidate_app(self.app_id)
+                self.registry.invalidate_peer(self.home)
+                raise
 
     def open(self, user: str):
         """Generator: relay the §5.2.2 select — or, in the §4.1
@@ -177,15 +182,21 @@ class RemoteAppHandle(AppHandle):
         if remote is None:
             raise SecurityError(f"{session.user!r} has no access to "
                                 f"{self.app_id!r}")
-        stub = yield from self._stub()
-        self.server.stats["remote_commands_relayed"] += 1
-        try:
-            return (yield from stub.deliver_command(
-                session.user, session.client_id, command, args))
-        except OrbError:
-            self.registry.invalidate_app(self.app_id)
-            self.registry.invalidate_peer(self.home)
-            raise
+        with self.server.tracer.span("federation.deliver_command",
+                                     plane="federation",
+                                     server=self.server.name,
+                                     attrs={"app_id": self.app_id,
+                                            "command": command,
+                                            "home": self.home}):
+            stub = yield from self._stub()
+            self.server.stats["remote_commands_relayed"] += 1
+            try:
+                return (yield from stub.deliver_command(
+                    session.user, session.client_id, command, args))
+            except OrbError:
+                self.registry.invalidate_app(self.app_id)
+                self.registry.invalidate_peer(self.home)
+                raise
 
     # -- lock protocol (relayed; host server stays authoritative) ----------
     def acquire_lock(self, client_id: str):

@@ -130,11 +130,15 @@ class PeerRegistry:
         if ref is not None:
             return ref
         home = home_server_of(app_id)
-        try:
-            ref = yield from self.peer_stub(home).get_corba_proxy(app_id)
-        except OrbError:
-            self.invalidate_peer(home)
-            raise
+        with self.orb.tracer.span("federation.resolve_proxy",
+                                  plane="federation",
+                                  server=self.server_name,
+                                  attrs={"app_id": app_id, "home": home}):
+            try:
+                ref = yield from self.peer_stub(home).get_corba_proxy(app_id)
+            except OrbError:
+                self.invalidate_peer(home)
+                raise
         self._proxy_refs[app_id] = ref
         return ref
 

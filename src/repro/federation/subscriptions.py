@@ -107,11 +107,17 @@ class SubscriptionManager:
                 idle_rounds += 1
                 continue
             idle_rounds = 0
-            try:
-                updates = yield from handle.get_updates_since(last_seq)
-            except OrbError:
-                self.metrics.count("poll_failovers")
-                continue
+            # Each round roots its own trace — pollers are background
+            # processes, so there is no caller context to join.
+            with server.tracer.span("federation.poll_round",
+                                    plane="federation", server=server.name,
+                                    attrs={"app_id": app_id,
+                                           "since_seq": last_seq}):
+                try:
+                    updates = yield from handle.get_updates_since(last_seq)
+                except OrbError:
+                    self.metrics.count("poll_failovers")
+                    continue
             self.metrics.count("poll_rounds")
             for update in updates:
                 last_seq = max(last_seq, update.seq)

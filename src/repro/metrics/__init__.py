@@ -7,6 +7,8 @@
   histograms fed by the request pipeline's metrics interceptor.
 - :class:`FederationMetrics` — peer-cache invalidation, subscription
   lifecycle, and per-app staleness counters fed by the federation layer.
+- :class:`Reservoir` — bounded sample store (exact count/mean/min/max,
+  reservoir-sampled percentiles) backing the long-running collectors.
 - :class:`SummaryStats` — the reduction product, printable as table rows.
 """
 
@@ -16,12 +18,13 @@ from repro.metrics.collectors import (
     PipelineMetrics,
     ThroughputMeter,
 )
-from repro.metrics.stats import SummaryStats, summarize
+from repro.metrics.stats import Reservoir, SummaryStats, summarize
 
 __all__ = [
     "FederationMetrics",
     "LatencyRecorder",
     "PipelineMetrics",
+    "Reservoir",
     "SummaryStats",
     "ThroughputMeter",
     "summarize",

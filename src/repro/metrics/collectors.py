@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.metrics.stats import SummaryStats, summarize
+from repro.metrics.stats import Reservoir, SummaryStats, summarize
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Simulator
@@ -62,20 +62,24 @@ class PipelineMetrics:
     report into one place.  Latencies are virtual seconds spent inside
     the pipeline (dispatch + handler), excluding the transport costs
     charged before the chain starts.
+
+    Latency samples are reservoir-bounded per plane (count and mean stay
+    exact over every request; percentiles are estimated from the
+    reservoir), so a long-running server's metrics use O(1) memory.
     """
 
     def __init__(self) -> None:
         self._requests: Dict[str, int] = defaultdict(int)
         self._errors: Dict[str, int] = defaultdict(int)
         self._error_types: Dict[str, Dict[str, int]] = {}
-        self._latencies: Dict[str, List[float]] = defaultdict(list)
+        self._latencies: Dict[str, Reservoir] = defaultdict(Reservoir)
 
     def observe(self, plane: str, latency: Optional[float] = None,
                 error_type: Optional[str] = None) -> None:
         """Record one completed request on ``plane``."""
         self._requests[plane] += 1
         if latency is not None:
-            self._latencies[plane].append(latency)
+            self._latencies[plane].add(latency)
         if error_type is not None:
             self._errors[plane] += 1
             by_type = self._error_types.setdefault(plane, defaultdict(int))
@@ -96,7 +100,8 @@ class PipelineMetrics:
         return dict(self._error_types.get(plane, ()))
 
     def latency_stats(self, plane: str) -> SummaryStats:
-        return summarize(self._latencies.get(plane, ()))
+        reservoir = self._latencies.get(plane)
+        return reservoir.stats() if reservoir is not None else summarize(())
 
     def planes(self) -> List[str]:
         return sorted(self._requests)
@@ -130,12 +135,14 @@ class FederationMetrics:
     events (``subscribes`` / ``unsubscribes`` / ``pollers_started`` /
     ``poll_rounds`` / ``poll_failovers``).  Staleness samples are virtual
     seconds from an application stamping an update to this server
-    receiving it over the peer network (push or poll).
+    receiving it over the peer network (push or poll); they are
+    reservoir-bounded per application (exact count/mean, sampled
+    percentiles) so long collaborations cannot grow memory without limit.
     """
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = defaultdict(int)
-        self._staleness: Dict[str, List[float]] = defaultdict(list)
+        self._staleness: Dict[str, Reservoir] = defaultdict(Reservoir)
 
     def count(self, name: str, n: int = 1) -> None:
         self._counters[name] += n
@@ -145,10 +152,11 @@ class FederationMetrics:
 
     def observe_staleness(self, app_id: str, lag: float) -> None:
         """Record one remote update's age on arrival."""
-        self._staleness[app_id].append(lag)
+        self._staleness[app_id].add(lag)
 
     def staleness_stats(self, app_id: str) -> SummaryStats:
-        return summarize(self._staleness.get(app_id, ()))
+        reservoir = self._staleness.get(app_id)
+        return reservoir.stats() if reservoir is not None else summarize(())
 
     def apps_observed(self) -> List[str]:
         return sorted(self._staleness)

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
+
+#: default reservoir capacity — enough for stable p90/p99 estimates
+DEFAULT_RESERVOIR_CAPACITY = 1024
 
 
 @dataclass(frozen=True)
@@ -33,6 +37,70 @@ class SummaryStats:
         return (f"n={self.count:5d}  mean={self.mean:9.{ndigits}f}  "
                 f"p50={self.p50:9.{ndigits}f}  p90={self.p90:9.{ndigits}f}  "
                 f"p99={self.p99:9.{ndigits}f}  max={self.maximum:9.{ndigits}f}")
+
+
+class Reservoir:
+    """Bounded sample store: exact count/mean/min/max, sampled percentiles.
+
+    Algorithm R reservoir sampling over a fixed capacity, so a collector
+    fed by an arbitrarily long run keeps O(capacity) memory.  The exact
+    aggregates (count, total → mean, minimum, maximum) are maintained over
+    *every* observation; only the percentile estimates come from the
+    sample.  Randomness is a private seeded :class:`random.Random` —
+    it never touches the simulation's determinism, and two identical
+    runs produce identical reservoirs.
+    """
+
+    __slots__ = ("capacity", "count", "total", "minimum", "maximum",
+                 "_samples", "_rng")
+
+    def __init__(self, capacity: int = DEFAULT_RESERVOIR_CAPACITY,
+                 seed: int = 0x5EED) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self._samples: List[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        """Observe one value."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def samples(self) -> List[float]:
+        """The retained (possibly subsampled) values."""
+        return list(self._samples)
+
+    def stats(self) -> SummaryStats:
+        """Exact count/mean/min/max merged with sampled percentiles."""
+        if self.count == 0:
+            return summarize(())
+        sampled = summarize(self._samples)
+        return SummaryStats(count=self.count, mean=self.mean,
+                            std=sampled.std, minimum=self.minimum,
+                            p50=sampled.p50, p90=sampled.p90,
+                            p99=sampled.p99, maximum=self.maximum)
+
+    def __len__(self) -> int:
+        return len(self._samples)
 
 
 def summarize(samples: Sequence[float]) -> SummaryStats:

@@ -85,13 +85,14 @@ class Endpoint:
         return (self.host.name, self.port)
 
     def send(self, dst_host: str, dst_port: int, payload: Any,
-             channel: str = "main") -> "Frame":
+             channel: str = "main", trace_ctx: Any = None) -> "Frame":
         """Hand ``payload`` to the network for delivery (returns the frame)."""
         if self.host.network is None:
             raise RuntimeError(f"host {self.host.name} is not attached "
                                f"to a network")
         return self.host.network.send(self.host.name, self.port,
-                                      dst_host, dst_port, payload, channel)
+                                      dst_host, dst_port, payload, channel,
+                                      trace_ctx=trace_ctx)
 
     def recv(self):
         """Event that fires with the next delivered :class:`Frame`."""

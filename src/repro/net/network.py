@@ -47,6 +47,9 @@ class Frame:
     channel: str = "main"
     sent_at: float = 0.0
     delivered_at: Optional[float] = None
+    #: propagated trace context (repro.obs.TraceContext), carried as frame
+    #: metadata only — never encoded, so wire sizes are trace-invariant
+    trace_ctx: Any = None
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
 
     @property
@@ -64,6 +67,9 @@ class Network:
                  frame_overhead: int = 64) -> None:
         self.sim = sim
         self.trace = trace if trace is not None else TrafficTrace()
+        #: optional repro.obs.Tracer — stamps outgoing frames with the
+        #: sender's current trace context and records per-hop spans
+        self.tracer = None
         #: per-frame framing overhead in bytes (headers: TCP/IP + protocol)
         self.frame_overhead = frame_overhead
         self.hosts: Dict[str, Host] = {}
@@ -131,15 +137,19 @@ class Network:
 
     # -- delivery -------------------------------------------------------------
     def send(self, src_host: str, src_port: int, dst_host: str, dst_port: int,
-             payload: Any, channel: str = "main") -> Frame:
+             payload: Any, channel: str = "main",
+             trace_ctx: Any = None) -> Frame:
         """Inject a frame; returns it immediately (delivery is asynchronous)."""
         if dst_host not in self.hosts:
             raise NetworkError(f"unknown destination host {dst_host!r}")
         # freeze_size memoizes the payload's wire size: a message re-sent
         # (retries, fan-out to several destinations) is sized exactly once
         size = freeze_size(payload) + self.frame_overhead
+        if trace_ctx is None and self.tracer is not None:
+            trace_ctx = self.tracer.current_context()
         frame = Frame(src_host, src_port, dst_host, dst_port, payload, size,
-                      channel=channel, sent_at=self.sim.now)
+                      channel=channel, sent_at=self.sim.now,
+                      trace_ctx=trace_ctx)
         if src_host == dst_host:
             # Loopback: no links, no transmission, immediate local delivery.
             self.sim.spawn(self._deliver_local(frame), name="loopback")
@@ -154,10 +164,21 @@ class Network:
         self._hand_off(frame)
 
     def _deliver(self, frame: Frame, path: List[str]):
+        wan = False
         for a, b in zip(path, path[1:]):
             link = self.link_between(a, b)
             yield from link.transmit(a, frame.size)
             self.trace.record(link, frame)
+            wan = wan or link.kind == "wan"
+        if self.tracer is not None and frame.trace_ctx is not None:
+            # Post-hoc bookkeeping: the transit already happened, the span
+            # just records it (zero-event — no scheduling, no wire bytes).
+            self.tracer.record_span(
+                "net.hop", frame.sent_at, self.sim.now, plane="net",
+                server=f"{frame.src_host}->{frame.dst_host}",
+                parent=frame.trace_ctx,
+                attrs={"wan": wan, "channel": frame.channel,
+                       "bytes": frame.size})
         self._hand_off(frame)
 
     def _hand_off(self, frame: Frame) -> None:

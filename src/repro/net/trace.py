@@ -8,13 +8,16 @@ remote server instead of one per remote client (§5.2.3).
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.link import Link
     from repro.net.network import Frame
+
+#: how many distinct trace ids keep per-trace traffic counters (LRU)
+MAX_TRACE_IDS = 256
 
 
 @dataclass
@@ -26,7 +29,14 @@ class LinkCounter:
 
 
 class TrafficTrace:
-    """Aggregates per-link, per-kind, and per-channel traffic totals."""
+    """Aggregates per-link, per-kind, and per-channel traffic totals.
+
+    Frames stamped with a trace context (by the tracer, via
+    ``Frame.trace_ctx``) are additionally counted per trace id, so a
+    request's hop count and wire bytes can be correlated with its span
+    tree.  The per-trace table is LRU-bounded at :data:`MAX_TRACE_IDS` —
+    long runs cannot grow it without limit.
+    """
 
     def __init__(self) -> None:
         self.per_link: Dict[Tuple[str, str], LinkCounter] = defaultdict(LinkCounter)
@@ -35,14 +45,22 @@ class TrafficTrace:
         self.total = LinkCounter()
         #: frames that reached an unbound destination port
         self.dropped = LinkCounter()
-        #: plane-qualified id of the last pipeline request completed (set
-        #: by the metrics interceptor) — correlates a snapshot with the
-        #: request that was in flight when it was taken
-        self.last_request_id: str = ""
+        #: per-trace-id hop totals, most recently active last (bounded)
+        self.per_trace: "OrderedDict[int, LinkCounter]" = OrderedDict()
 
-    def tag_request(self, trace_id: str) -> None:
-        """Mark ``trace_id`` (e.g. ``"http-17"``) as the latest request."""
-        self.last_request_id = trace_id
+    def for_trace(self, trace_id: int) -> LinkCounter:
+        """The (possibly evicted → zeroed) hop totals of one trace."""
+        return self.per_trace.get(trace_id, LinkCounter())
+
+    def _trace_counter(self, trace_id: int) -> LinkCounter:
+        counter = self.per_trace.get(trace_id)
+        if counter is None:
+            counter = self.per_trace[trace_id] = LinkCounter()
+            while len(self.per_trace) > MAX_TRACE_IDS:
+                self.per_trace.popitem(last=False)
+        else:
+            self.per_trace.move_to_end(trace_id)
+        return counter
 
     def record_dropped(self, frame: "Frame") -> None:
         """Count one undeliverable frame (destination port unbound)."""
@@ -52,8 +70,11 @@ class TrafficTrace:
     def record(self, link: "Link", frame: "Frame") -> None:
         """Count one frame crossing one link."""
         key = tuple(sorted(link.ends))
-        for counter in (self.per_link[key], self.per_kind[link.kind],
-                        self.per_channel[frame.channel], self.total):
+        counters = [self.per_link[key], self.per_kind[link.kind],
+                    self.per_channel[frame.channel], self.total]
+        if frame.trace_ctx is not None:
+            counters.append(self._trace_counter(frame.trace_ctx.trace_id))
+        for counter in counters:
             counter.messages += 1
             counter.bytes += frame.size
 
@@ -81,12 +102,12 @@ class TrafficTrace:
         self.per_channel.clear()
         self.total = LinkCounter()
         self.dropped = LinkCounter()
-        self.last_request_id = ""
+        self.per_trace.clear()
 
     def snapshot(self) -> dict:
         """A plain-dict summary for reports."""
         return {
-            "last_request_id": self.last_request_id,
+            "traced_trace_ids": len(self.per_trace),
             "total_messages": self.total.messages,
             "total_bytes": self.total.bytes,
             "wan_messages": self.wan_messages,

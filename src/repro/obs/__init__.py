@@ -1,0 +1,48 @@
+"""repro.obs — causal tracing and unified metrics over simulated time.
+
+The observability layer for the collaboratory: a :class:`Tracer` mints
+spans stamped with virtual time (``sim.now``), context propagates
+in-process through the interceptor pipeline and across servers through
+frame metadata / GIOP service contexts, and the :class:`SpanStore`
+reconstructs cross-server request trees and their critical paths.
+
+Everything outside this package goes through this facade — the obs
+boundary lint (``tools/check_pipeline_boundary.py``) rejects imports of
+the submodules and direct span construction elsewhere.
+"""
+
+from repro.obs.export import (export_chrome, export_jsonl, load_jsonl,
+                              to_chrome_trace, to_jsonl_lines,
+                              tree_signature)
+from repro.obs.interceptor import (TRACE_CTX_KEY, TRACE_PARENT_KEY,
+                                   TracingInterceptor)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.render import (format_critical_path, format_trace_summary,
+                              format_trace_tree)
+from repro.obs.span import Span, TraceContext
+from repro.obs.store import PathSegment, SpanNode, SpanStore
+from repro.obs.tracer import SAMPLE_ALWAYS, SAMPLE_OFF, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "PathSegment",
+    "SAMPLE_ALWAYS",
+    "SAMPLE_OFF",
+    "Span",
+    "SpanNode",
+    "SpanStore",
+    "TRACE_CTX_KEY",
+    "TRACE_PARENT_KEY",
+    "TraceContext",
+    "Tracer",
+    "TracingInterceptor",
+    "export_chrome",
+    "export_jsonl",
+    "format_critical_path",
+    "format_trace_summary",
+    "format_trace_tree",
+    "load_jsonl",
+    "to_chrome_trace",
+    "to_jsonl_lines",
+    "tree_signature",
+]

@@ -1,0 +1,65 @@
+"""TracingInterceptor: the pipeline's seam into :mod:`repro.obs`.
+
+Joins the standard chain on all three planes (metrics → envelope →
+**tracing** → security → admission), so it is entered after the error
+envelope — its ``on_error`` still sees the raw exception of a rejected
+request before the envelope absorbs it into a reply shape.
+
+Per request it opens one span named after the plane's operation (servlet
+path, ORB operation, channel message type), parented on the propagated
+context the dispatcher stashed in ``ctx.attrs["trace_parent"]`` (frame
+metadata / GIOP service context), and activates it as the handling
+process's current span so everything the handler does — nested peer
+calls, frames it sends — joins the same trace.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import Tracer
+from repro.pipeline.core import Interceptor, RequestContext
+
+#: ctx.attrs key dispatchers use to hand the propagated parent context in
+TRACE_PARENT_KEY = "trace_parent"
+#: ctx.attrs key carrying this request's own context (for reply stamping)
+TRACE_CTX_KEY = "trace_ctx"
+_SPAN_KEY = "_trace_span"
+_TOKEN_KEY = "_trace_token"
+
+
+class TracingInterceptor(Interceptor):
+    """One span per dispatched request, on every plane."""
+
+    name = "tracing"
+
+    def __init__(self, tracer: Tracer, server: str = "") -> None:
+        self.tracer = tracer
+        self.server = server
+
+    def before(self, ctx: RequestContext) -> None:
+        parent = ctx.attrs.pop(TRACE_PARENT_KEY, None)
+        span = self.tracer.start_span(
+            ctx.operation or ctx.plane, plane=ctx.plane, server=self.server,
+            parent=parent,
+            attrs={"request_id": ctx.request_id,
+                   "principal": ctx.principal,
+                   "bytes": ctx.size})
+        if span is None:
+            return
+        ctx.attrs[_SPAN_KEY] = span
+        ctx.attrs[_TOKEN_KEY] = self.tracer.activate(span)
+        ctx.attrs[TRACE_CTX_KEY] = span.context()
+
+    def _close(self, ctx: RequestContext, error) -> None:
+        span = ctx.attrs.pop(_SPAN_KEY, None)
+        token = ctx.attrs.pop(_TOKEN_KEY, None)
+        self.tracer.deactivate(token)
+        self.tracer.finish(span, error=error)
+
+    def after(self, ctx: RequestContext) -> None:
+        # Sitting inside the envelope, this interceptor unwinds before the
+        # envelope absorbs anything: a failed request reaches on_error with
+        # the raw exception, so a clean ``after`` always means success.
+        self._close(ctx, None)
+
+    def on_error(self, ctx: RequestContext) -> None:
+        self._close(ctx, ctx.error)

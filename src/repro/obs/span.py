@@ -1,0 +1,111 @@
+"""Span and trace-context records (internal to :mod:`repro.obs`).
+
+A :class:`Span` is one timed step of a causal trace: which layer did what,
+on which server, over which stretch of *virtual* time.  Spans are plain
+bookkeeping objects — they are never scheduled as simulator events and are
+never encoded onto the wire, so recording them cannot perturb a
+simulation's schedule (the golden-table invariant).
+
+Only :mod:`repro.obs` constructs these classes; every other module goes
+through the :class:`~repro.obs.tracer.Tracer` API (enforced by the obs
+boundary lint in ``tools/check_pipeline_boundary.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class TraceContext:
+    """The compact, propagatable identity of a span: ``(trace_id, span_id)``.
+
+    This is what crosses process and server boundaries — carried by
+    reference in frame metadata and GIOP service-context slots, never
+    serialized, so wire sizes (and therefore virtual-time schedules) are
+    identical with tracing on or off.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def as_tuple(self) -> tuple:
+        return (self.trace_id, self.span_id)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TraceContext)
+                and other.trace_id == self.trace_id
+                and other.span_id == self.span_id)
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TraceContext {self.trace_id}:{self.span_id}>"
+
+
+class Span:
+    """One timed, attributed step of a trace tree."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "op", "plane",
+                 "server", "start", "end", "status", "error", "attrs")
+
+    def __init__(self, trace_id: int, span_id: int,
+                 parent_id: Optional[int], op: str, *, plane: str = "",
+                 server: str = "", start: float = 0.0,
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.op = op
+        self.plane = plane
+        self.server = server
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.error = ""
+        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
+
+    @property
+    def duration(self) -> float:
+        """Virtual seconds covered (0.0 while unfinished)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable record (the JSONL exporter's row shape)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "op": self.op,
+            "plane": self.plane,
+            "server": self.server,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "error": self.error,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(data["trace_id"], data["span_id"], data.get("parent_id"),
+                   data.get("op", ""), plane=data.get("plane", ""),
+                   server=data.get("server", ""),
+                   start=data.get("start", 0.0),
+                   attrs=dict(data.get("attrs") or {}))
+        span.end = data.get("end")
+        span.status = data.get("status", "ok")
+        span.error = data.get("error", "")
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Span {self.trace_id}:{self.span_id} {self.op!r} "
+                f"{self.plane}@{self.server} [{self.status}]>")

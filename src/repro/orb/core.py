@@ -51,7 +51,8 @@ class Orb:
 
     def __init__(self, host: "Host", port: int = DEFAULT_ORB_PORT,
                  cost_model: Optional[CostModel] = None,
-                 pipeline: Optional[Pipeline] = None) -> None:
+                 pipeline: Optional[Pipeline] = None,
+                 tracer=None) -> None:
         self.host = host
         self.sim = host.sim
         self.port = port
@@ -62,12 +63,19 @@ class Orb:
         self._req_seq = itertools.count(1)
         #: bootstrap references (e.g. "NameService", "TradingService")
         self.initial_references: Dict[str, ObjectRef] = {}
+        if tracer is None:
+            # Bare ORBs trace nothing; a disabled tracer keeps the
+            # invoke/serve paths free of None checks.
+            from repro.obs import SAMPLE_OFF, Tracer
+            tracer = Tracer(sampling=SAMPLE_OFF, clock=lambda: self.sim.now)
+        self.tracer = tracer
         if pipeline is None:
             # Late import: repro.pipeline.interceptors imports the core
             # managers, which import this module.
             from repro.pipeline.interceptors import default_pipeline
             pipeline = default_pipeline(PLANE_ORB,
-                                        clock=lambda: self.sim.now)
+                                        clock=lambda: self.sim.now,
+                                        tracer=tracer, server=host.name)
         #: interceptor chain every incoming request (two-way *and* oneway)
         #: dispatches through — §6.3 admission plugs in here
         self.pipeline = pipeline
@@ -116,35 +124,50 @@ class Orb:
         req = GiopRequest(req_id, ref.object_key, operation,
                           tuple(args), dict(kwargs),
                           reply_host=self.host.name, reply_port=self.port)
-        # Client-side stub marshalling delay.  freeze_size memoizes the
-        # request's wire size, so the network send below reuses it.
-        marshal = self.costs.corba_per_byte * freeze_size(req)
-        if marshal > 0:
-            yield self.sim.timeout(marshal)
-        waiter = self.sim.event()
-        self._pending[req_id] = waiter
-        self.endpoint.send(ref.host, ref.port, req, channel="corba")
-        try:
-            if timeout is None:
-                reply = yield waiter
-            else:
-                expiry = self.sim.timeout(timeout)
-                fired = yield AnyOf(self.sim, [waiter, expiry])
-                if waiter not in fired:
-                    raise CommFailure(
-                        f"invoke {ref.object_key}.{operation} timed out "
-                        f"after {timeout}s")
-                reply = fired[waiter]
-        finally:
-            self._pending.pop(req_id, None)
-        return self._unpack_reply(ref, operation, reply)
+        with self.tracer.span(f"giop.{operation}", plane="orb-client",
+                              server=self.host.name,
+                              attrs={"object_key": ref.object_key,
+                                     "target": ref.host}) as span:
+            ctx = self.tracer.context_of(span)
+            req.service_context = ctx
+            # Client-side stub marshalling delay.  freeze_size memoizes the
+            # request's wire size, so the network send below reuses it.
+            marshal = self.costs.corba_per_byte * freeze_size(req)
+            if marshal > 0:
+                yield self.sim.timeout(marshal)
+            waiter = self.sim.event()
+            self._pending[req_id] = waiter
+            self.endpoint.send(ref.host, ref.port, req, channel="corba",
+                               trace_ctx=ctx)
+            try:
+                if timeout is None:
+                    reply = yield waiter
+                else:
+                    expiry = self.sim.timeout(timeout)
+                    fired = yield AnyOf(self.sim, [waiter, expiry])
+                    if waiter not in fired:
+                        raise CommFailure(
+                            f"invoke {ref.object_key}.{operation} timed out "
+                            f"after {timeout}s")
+                    reply = fired[waiter]
+            finally:
+                self._pending.pop(req_id, None)
+            return self._unpack_reply(ref, operation, reply)
 
     def invoke_oneway(self, ref: ObjectRef, operation: str, *args: Any,
                       **kwargs: Any) -> None:
         """Fire-and-forget invocation (no reply, no exceptions back)."""
         req = GiopRequest(next(self._req_seq), ref.object_key, operation,
                           tuple(args), dict(kwargs), oneway=True)
-        self.endpoint.send(ref.host, ref.port, req, channel="corba")
+        with self.tracer.span(f"giop.{operation}", plane="orb-client",
+                              server=self.host.name,
+                              attrs={"object_key": ref.object_key,
+                                     "target": ref.host,
+                                     "oneway": True}) as span:
+            ctx = self.tracer.context_of(span)
+            req.service_context = ctx
+            self.endpoint.send(ref.host, ref.port, req, channel="corba",
+                               trace_ctx=ctx)
 
     @staticmethod
     def _unpack_reply(ref: ObjectRef, operation: str, reply: GiopReply) -> Any:
@@ -181,6 +204,8 @@ class Orb:
         ctx = RequestContext(PLANE_ORB, request_id=req.request_id,
                              principal=src_host, operation=req.operation,
                              size=size, request=req)
+        # Decoded requests lack the slot entirely — it is not a wire field.
+        ctx.attrs["trace_parent"] = getattr(req, "service_context", None)
         result = yield from self.pipeline.execute(ctx,
                                                   self._dispatch_servant)
         if req.oneway:
@@ -190,7 +215,8 @@ class Orb:
         else:
             reply = GiopReply(req.request_id, STATUS_OK, result, "", "")
         self.endpoint.send(req.reply_host, req.reply_port, reply,
-                           channel="corba")
+                           channel="corba",
+                           trace_ctx=ctx.attrs.get("trace_ctx"))
 
     def _dispatch_servant(self, ctx: RequestContext):
         """Pipeline handler: look the servant up and run the operation.

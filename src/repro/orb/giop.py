@@ -25,14 +25,21 @@ _REPLY_FIELDS = ("request_id", "status", "result", "exc_type", "exc_message")
 
 
 class GiopRequest:
-    """One remote invocation: target object key, operation, arguments."""
+    """One remote invocation: target object key, operation, arguments.
 
-    __slots__ = _REQUEST_FIELDS + ("__weakref__",)
+    ``service_context`` mirrors GIOP's service-context list, carrying the
+    caller's trace context.  It is a slot but deliberately *not* a wire
+    field (absent from ``_REQUEST_FIELDS``), so encoded size — and every
+    golden experiment table — is identical with tracing on or off; decoded
+    instances simply lack the attribute (read with ``getattr``).
+    """
+
+    __slots__ = _REQUEST_FIELDS + ("service_context", "__weakref__")
 
     def __init__(self, request_id: int, object_key: str, operation: str,
                  args: tuple = (), kwargs: Optional[dict] = None,
                  reply_host: str = "", reply_port: int = 0,
-                 oneway: bool = False) -> None:
+                 oneway: bool = False, service_context: Any = None) -> None:
         self.request_id = request_id
         self.object_key = object_key
         self.operation = operation
@@ -41,6 +48,7 @@ class GiopRequest:
         self.reply_host = reply_host
         self.reply_port = reply_port
         self.oneway = oneway
+        self.service_context = service_context
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<GiopRequest #{self.request_id} "

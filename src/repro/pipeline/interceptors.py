@@ -12,9 +12,12 @@ Each class wraps code that previously lived inline in one dispatch path:
   absorbing the per-servlet ``_error`` helpers and the ad-hoc try/except
   blocks the planes used to carry.
 - :class:`MetricsInterceptor` — per-plane request counts and latency
-  samples into :class:`repro.metrics.PipelineMetrics`, with the
-  plane-qualified request id threaded into the network's
-  :class:`~repro.net.trace.TrafficTrace` for end-to-end correlation.
+  samples into :class:`repro.metrics.PipelineMetrics`.
+
+Causal tracing joins the chain as :class:`repro.obs.TracingInterceptor`
+(between the envelope and security), opening one span per dispatched
+request on every plane; end-to-end traffic correlation now rides on the
+per-frame trace ids the tracer stamps, not on request-id tagging.
 
 Dispatch modules (``repro.web.container``, ``repro.orb.core``,
 ``repro.core.daemon``) must not import ``repro.core.security`` or
@@ -173,25 +176,19 @@ class MetricsInterceptor(Interceptor):
     """Per-plane request counters and latency histograms (ROADMAP: make the
     middleware observable before scaling it further).
 
-    Feeds a shared :class:`repro.metrics.PipelineMetrics` and, when given
-    the network's :class:`~repro.net.trace.TrafficTrace`, tags it with the
-    plane-qualified request id so a traffic snapshot taken after a request
-    completes can be correlated with that request end-to-end.
+    Feeds a shared :class:`repro.metrics.PipelineMetrics`.
     """
 
     name = "metrics"
 
-    def __init__(self, metrics: PipelineMetrics, plane: Optional[str] = None,
-                 trace=None) -> None:
+    def __init__(self, metrics: PipelineMetrics,
+                 plane: Optional[str] = None) -> None:
         self.metrics = metrics
         self.plane = plane
-        self.trace = trace
 
     def _observe(self, ctx: RequestContext, error_type: Optional[str]) -> None:
         self.metrics.observe(self.plane or ctx.plane, latency=ctx.elapsed,
                              error_type=error_type)
-        if self.trace is not None:
-            self.trace.tag_request(ctx.trace_id)
 
     def after(self, ctx: RequestContext) -> None:
         self._observe(ctx, ctx.attrs.get("error_type"))
@@ -206,9 +203,13 @@ def default_pipeline(plane: str, *,
                      metrics: Optional[PipelineMetrics] = None,
                      security: Optional[SecurityManager] = None,
                      policies: Optional[PolicyManager] = None,
-                     trace=None) -> Pipeline:
-    """The standard chain for one plane: metrics → envelope → security →
-    admission → handler (security/admission only when managers are given).
+                     tracer=None, server: str = "") -> Pipeline:
+    """The standard chain for one plane: metrics → envelope → tracing →
+    security → admission → handler (tracing/security/admission only when a
+    tracer / the managers are given).
+
+    Tracing sits inside the envelope so its ``on_error`` sees the raw
+    exception before the envelope absorbs it into a reply shape.
 
     Bare components (a :class:`~repro.web.ServletContainer` or
     :class:`~repro.orb.Orb` outside a :class:`DiscoverServer`) call this
@@ -216,8 +217,11 @@ def default_pipeline(plane: str, *,
     its shared managers so all three planes report into one place.
     """
     chain = [MetricsInterceptor(metrics if metrics is not None
-                                else PipelineMetrics(), plane, trace=trace),
+                                else PipelineMetrics(), plane),
              ErrorEnvelopeInterceptor()]
+    if tracer is not None:
+        from repro.obs import TracingInterceptor
+        chain.append(TracingInterceptor(tracer, server))
     if security is not None:
         chain.append(SecurityInterceptor(security))
     if policies is not None:

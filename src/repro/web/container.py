@@ -126,6 +126,7 @@ class ServletContainer:
                              principal=frame.src_host,
                              operation=request.path, size=frame.size,
                              request=request)
+        ctx.attrs["trace_parent"] = frame.trace_ctx
 
         def route(_ctx):
             servlet = self.servlet_for(request.path)
@@ -140,4 +141,5 @@ class ServletContainer:
             response.set_cookie = session.session_id
         self.requests_served += 1
         self.endpoint.send(frame.src_host, frame.src_port, response,
-                           channel="response")
+                           channel="response",
+                           trace_ctx=ctx.attrs.get("trace_ctx"))

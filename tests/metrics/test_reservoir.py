@@ -1,0 +1,64 @@
+"""Reservoir: bounded memory with exact aggregates (the fix for the
+unbounded collector growth in PipelineMetrics / FederationMetrics)."""
+
+from repro.metrics import FederationMetrics, PipelineMetrics, Reservoir
+
+
+def test_exact_aggregates_survive_subsampling():
+    res = Reservoir(capacity=64)
+    n = 10_000
+    for i in range(n):
+        res.add(float(i))
+    assert res.count == n
+    assert len(res) == 64  # memory bounded at capacity
+    assert res.mean == sum(range(n)) / n
+    assert res.minimum == 0.0
+    assert res.maximum == float(n - 1)
+    stats = res.stats()
+    assert stats.count == n
+    assert stats.mean == res.mean
+    assert stats.minimum == 0.0 and stats.maximum == float(n - 1)
+    # sampled percentiles are estimates, but land in the right region
+    assert 0.0 < stats.p50 < n
+    assert stats.p50 <= stats.p90 <= stats.p99 <= stats.maximum
+
+
+def test_reservoir_is_deterministic():
+    def fill():
+        res = Reservoir(capacity=16)
+        for i in range(1000):
+            res.add(float(i % 37))
+        return res.samples()
+
+    assert fill() == fill()
+
+
+def test_empty_and_small_reservoirs():
+    res = Reservoir()
+    assert res.stats().count == 0
+    assert res.mean == 0.0
+    res.add(2.5)
+    stats = res.stats()
+    assert stats.count == 1
+    assert stats.mean == stats.minimum == stats.maximum == 2.5
+
+
+def test_pipeline_metrics_latencies_are_bounded():
+    metrics = PipelineMetrics()
+    for i in range(5000):
+        metrics.observe("http", latency=float(i) * 1e-3)
+    assert metrics.requests("http") == 5000
+    stats = metrics.latency_stats("http")
+    assert stats.count == 5000  # exact despite sampling
+    assert len(metrics._latencies["http"]) <= 1024
+    assert metrics.latency_stats("missing").count == 0
+
+
+def test_federation_metrics_staleness_is_bounded():
+    metrics = FederationMetrics()
+    for i in range(5000):
+        metrics.observe_staleness("app-1", float(i) * 1e-3)
+    stats = metrics.staleness_stats("app-1")
+    assert stats.count == 5000
+    assert len(metrics._staleness["app-1"]) <= 1024
+    assert metrics.staleness_stats("other").count == 0

@@ -1,0 +1,141 @@
+"""Tracer unit behaviour: minting, sampling, activation, error capture."""
+
+import pytest
+
+from repro.obs import SAMPLE_OFF, Tracer
+from repro.sim import Simulator
+
+
+def make_tracer(**kwargs):
+    clock = {"now": 0.0}
+    tracer = Tracer(clock=lambda: clock["now"], scope=lambda: "p1", **kwargs)
+    return tracer, clock
+
+
+def test_span_lifecycle_records_virtual_times():
+    tracer, clock = make_tracer()
+    span = tracer.start_span("op", plane="http", server="s1")
+    clock["now"] = 1.5
+    tracer.finish(span)
+    assert span.start == 0.0
+    assert span.end == 1.5
+    assert span.duration == 1.5
+    assert span.status == "ok"
+    assert tracer.store.spans() == [span]
+
+
+def test_ids_are_unique_and_children_inherit_trace_id():
+    tracer, _clock = make_tracer()
+    root = tracer.start_span("root")
+    token = tracer.activate(root)
+    child = tracer.start_span("child")
+    tracer.finish(child)
+    tracer.deactivate(token)
+    tracer.finish(root)
+    assert child.trace_id == root.trace_id
+    assert child.parent_id == root.span_id
+    assert child.span_id != root.span_id
+    other = tracer.start_span("other-root")
+    assert other.trace_id != root.trace_id
+
+
+def test_explicit_parent_context_beats_current_span():
+    tracer, _clock = make_tracer()
+    a = tracer.start_span("a")
+    b = tracer.start_span("b")
+    token = tracer.activate(b)
+    child = tracer.start_span("child", parent=a.context())
+    tracer.deactivate(token)
+    assert child.trace_id == a.trace_id
+    assert child.parent_id == a.span_id
+
+
+def test_sampling_off_is_a_noop():
+    tracer, _clock = make_tracer(sampling=SAMPLE_OFF)
+    span = tracer.start_span("op")
+    assert span is None
+    # every API tolerates the sampled-out None
+    tracer.annotate(span, key="value")
+    tracer.finish(span)
+    assert tracer.activate(span) is None
+    assert tracer.current_context() is None
+    with tracer.span("ctx") as s:
+        assert s is None
+    assert len(tracer.store) == 0
+    assert not tracer.enabled
+
+
+def test_one_in_n_sampling_keeps_every_nth_root_and_its_children():
+    tracer, _clock = make_tracer(sampling=3)
+    kept = []
+    for i in range(9):
+        root = tracer.start_span(f"root-{i}")
+        if root is not None:
+            token = tracer.activate(root)
+            child = tracer.start_span("child")
+            tracer.finish(child)
+            tracer.deactivate(token)
+            tracer.finish(root)
+            kept.append(root.op)
+    assert kept == ["root-0", "root-3", "root-6"]
+    # sampled roots keep complete trees: one child per kept root
+    assert len(tracer.store) == 6
+
+
+def test_invalid_sampling_rejected():
+    with pytest.raises(ValueError):
+        Tracer(clock=lambda: 0.0, sampling=0)
+    with pytest.raises(ValueError):
+        Tracer(clock=lambda: 0.0, sampling="sometimes")
+
+
+def test_span_context_manager_captures_errors():
+    tracer, _clock = make_tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("kaput")
+    (span,) = tracer.store.spans()
+    assert span.status == "error"
+    assert "kaput" in span.error
+    # the active stack unwound despite the error
+    assert tracer.current_span() is None
+
+
+def test_per_process_stacks_do_not_leak_context():
+    scopes = {"current": "p1"}
+    tracer = Tracer(clock=lambda: 0.0, scope=lambda: scopes["current"])
+    a = tracer.start_span("a")
+    tracer.activate(a)
+    scopes["current"] = "p2"
+    assert tracer.current_span() is None
+    b = tracer.start_span("b")
+    assert b.parent_id is None
+    assert b.trace_id != a.trace_id
+
+
+def test_record_span_requires_parent_context():
+    tracer, _clock = make_tracer()
+    assert tracer.record_span("hop", 0.0, 1.0, parent=None) is None
+    root = tracer.start_span("root")
+    hop = tracer.record_span("hop", 0.0, 1.0, parent=root.context(),
+                             plane="net")
+    assert hop.trace_id == root.trace_id
+    assert hop.parent_id == root.span_id
+    assert hop.end == 1.0
+
+
+def test_simulator_clock_and_scope_integration():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    seen = {}
+
+    def proc():
+        span = tracer.start_span("step")
+        yield sim.timeout(2.5)
+        tracer.finish(span)
+        seen["span"] = span
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen["span"].start == 0.0
+    assert seen["span"].end == 2.5

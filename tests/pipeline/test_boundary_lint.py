@@ -15,6 +15,7 @@ def test_dispatch_modules_do_not_import_security_or_policies():
     assert proc.returncode == 0, proc.stderr
     assert "pipeline boundary OK" in proc.stdout
     assert "federation boundary OK" in proc.stdout
+    assert "obs boundary OK" in proc.stdout
 
 
 def test_federation_lint_catches_stub_usage(tmp_path):
@@ -39,3 +40,32 @@ def test_federation_lint_catches_stub_usage(tmp_path):
         "def handler(registry, app_id):\n"
         "    return registry.remote_proxy_stub(app_id)\n")
     assert lint.federation_leaks(ok) == []
+
+
+def test_obs_lint_catches_span_internals(tmp_path):
+    """The lint flags submodule imports and direct span construction;
+    the facade import and the Tracer API stay legal."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import check_pipeline_boundary as lint
+    finally:
+        sys.path.pop(0)
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from repro.obs.span import Span\n"
+        "import repro.obs.store\n"
+        "def record(store):\n"
+        "    store.add(Span(1, 2, None, 'op', 'http', 's', 0.0, 1.0))\n"
+        "    return TraceContext(1, 2)\n")
+    hits = lint.obs_leaks(bad)
+    assert any("repro.obs.span" in what for _, what in hits)
+    assert any("repro.obs.store" in what for _, what in hits)
+    assert any("'Span'" in what for _, what in hits)
+    assert any("'TraceContext'" in what for _, what in hits)
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        "from repro.obs import SAMPLE_OFF, Tracer\n"
+        "def trace(tracer, sim):\n"
+        "    with tracer.span('op', plane='http', server='s'):\n"
+        "        return tracer.current_context()\n")
+    assert lint.obs_leaks(ok) == []

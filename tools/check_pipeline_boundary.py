@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lint: architectural boundaries the refactors carved out must hold.
 
-Two checks, both AST-based:
+Three checks, all AST-based:
 
 1. **Pipeline boundary** — the three dispatch planes
    (``repro.web.container``, ``repro.orb.core``, ``repro.core.daemon``)
@@ -15,6 +15,13 @@ Two checks, both AST-based:
    / ``proxy_stub`` anywhere else in ``src/repro`` re-inlines the
    local-vs-remote branching the federation refactor collapsed into
    ``router.resolve(app_id)``.
+
+3. **Obs boundary** — only :mod:`repro.obs` may construct spans or read
+   span internals; everything else goes through the ``Tracer`` API (the
+   facade ``from repro.obs import ...`` is fine).  Importing an obs
+   *submodule* (``repro.obs.span`` etc.) or naming ``Span`` /
+   ``TraceContext`` / ``SpanNode`` outside the package couples callers
+   to the span representation instead of the tracing API.
 
 Usage: python tools/check_pipeline_boundary.py [repo_root]
 """
@@ -42,6 +49,13 @@ FEDERATION_ONLY_NAMES = frozenset(
 
 #: the one package allowed to use those names, relative to the repo root
 FEDERATION_PACKAGE = "src/repro/federation"
+
+#: span internals only repro.obs may name — everyone else talks to the
+#: Tracer (start_span / record_span / span()), never to raw spans
+OBS_ONLY_NAMES = frozenset({"Span", "TraceContext", "SpanNode"})
+
+#: the observability package, relative to the repo root
+OBS_PACKAGE = "src/repro/obs"
 
 
 def forbidden_imports(path: Path) -> list:
@@ -85,6 +99,33 @@ def federation_leaks(path: Path) -> list:
     return hits
 
 
+def obs_leaks(path: Path) -> list:
+    """(lineno, what) pairs for obs-internal use in ``path``.
+
+    Two patterns leak the span representation out of :mod:`repro.obs`:
+    importing an obs *submodule* (``repro.obs.span`` — the facade
+    ``from repro.obs import Tracer`` stays legal), and naming a span
+    internal (``Span`` / ``TraceContext`` / ``SpanNode``) directly.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.obs."):
+                    hits.append((node.lineno,
+                                 f"imports {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.startswith("repro.obs."):
+                hits.append((node.lineno, f"imports from {module}"))
+        elif isinstance(node, (ast.Name, ast.Attribute)):
+            name = node.id if isinstance(node, ast.Name) else node.attr
+            if name in OBS_ONLY_NAMES:
+                hits.append((node.lineno, f"uses {name!r}"))
+    return hits
+
+
 def main(argv) -> int:
     root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
     failures = []
@@ -98,23 +139,32 @@ def main(argv) -> int:
                 f"{rel}:{lineno}: imports {name} — security/policy code "
                 f"must flow through repro.pipeline interceptors")
     fed_root = root / FEDERATION_PACKAGE
+    obs_root = root / OBS_PACKAGE
     checked = 0
+    obs_checked = 0
     for path in sorted((root / "src" / "repro").rglob("*.py")):
-        if fed_root in path.parents or path.parent == fed_root:
-            continue
-        checked += 1
         rel = path.relative_to(root)
-        for lineno, name in federation_leaks(path):
-            failures.append(
-                f"{rel}:{lineno}: uses {name!r} — local-vs-remote routing "
-                f"must flow through repro.federation (router.resolve)")
+        if not (fed_root in path.parents or path.parent == fed_root):
+            checked += 1
+            for lineno, name in federation_leaks(path):
+                failures.append(
+                    f"{rel}:{lineno}: uses {name!r} — local-vs-remote "
+                    f"routing must flow through repro.federation "
+                    f"(router.resolve)")
+        if not (obs_root in path.parents or path.parent == obs_root):
+            obs_checked += 1
+            for lineno, what in obs_leaks(path):
+                failures.append(
+                    f"{rel}:{lineno}: {what} — span internals stay in "
+                    f"repro.obs; use the Tracer API via the facade")
     if failures:
         print("pipeline boundary violations:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
     print(f"pipeline boundary OK ({len(DISPATCH_MODULES)} dispatch modules "
-          f"clean); federation boundary OK ({checked} modules clean)")
+          f"clean); federation boundary OK ({checked} modules clean); "
+          f"obs boundary OK ({obs_checked} modules clean)")
     return 0
 
 
