@@ -46,6 +46,11 @@ PIPELINE_KEYS = ("http_requests", "orb_requests", "channel_requests",
 FEDERATION_KEYS = ("fed_subscribes", "fed_unsubscribes",
                    "fed_invalidations", "fed_poll_failovers")
 
+#: health-plane totals, also added by ``pipeline_counters``
+HEALTH_KEYS = ("health_healthy", "health_degraded", "health_unhealthy",
+               "health_unknown", "alerts_fired", "alerts_resolved",
+               "health_failovers")
+
 
 def format_pipeline_summary(rows: Sequence[Dict]) -> str:
     """Footer lines aggregating the per-plane pipeline counters and the
@@ -68,6 +73,20 @@ def format_pipeline_summary(rows: Sequence[Dict]) -> str:
                 f"unsubscribes={fed['fed_unsubscribes']} "
                 f"invalidations={fed['fed_invalidations']} "
                 f"poll_failovers={fed['fed_poll_failovers']}")
+    if any(k in row for row in rows for k in HEALTH_KEYS):
+        hk = {k: sum(row.get(k, 0) for row in rows) for k in HEALTH_KEYS}
+        out += (f"\nhealth: healthy={hk['health_healthy']} "
+                f"degraded={hk['health_degraded']} "
+                f"unhealthy={hk['health_unhealthy']} "
+                f"unknown={hk['health_unknown']} "
+                f"alerts_fired={hk['alerts_fired']} "
+                f"alerts_resolved={hk['alerts_resolved']} "
+                f"failovers={hk['health_failovers']}")
+        latencies = [row["detection_latency_s"] for row in rows
+                     if row.get("detection_latency_s") is not None]
+        if latencies:
+            out += (f" detection_latency_s="
+                    f"{max(latencies):.2f}")
     return out
 
 

@@ -29,11 +29,17 @@ def pipeline_counters(servers, tracer=None) -> dict:
     ``orb_requests``, ``channel_requests``, ``pipeline_errors``,
     ``sessions_expired``), plus the federation layer's subscription and
     cache-invalidation totals (``fed_subscribes``, ``fed_unsubscribes``,
-    ``fed_invalidations``, ``fed_poll_failovers``).  Passing the
-    deployment's tracer adds the span-store totals (``spans_recorded``,
-    ``traces_recorded``, ``spans_dropped``)."""
+    ``fed_invalidations``, ``fed_poll_failovers``), and the health plane's
+    fleet summary (``health_healthy`` / ``health_degraded`` /
+    ``health_unhealthy`` / ``health_unknown`` status counts plus
+    ``alerts_fired`` / ``alerts_resolved`` / ``health_failovers``).
+    Passing the deployment's tracer adds the span-store totals
+    (``spans_recorded``, ``traces_recorded``, ``spans_dropped``)."""
     http = orb = channel = errors = expired = 0
     subscribes = unsubscribes = invalidations = failovers = 0
+    status_counts = {"healthy": 0, "degraded": 0, "unhealthy": 0,
+                     "unknown": 0}
+    alerts_fired = alerts_resolved = health_failovers = 0
     for server in servers:
         metrics = server.pipeline_metrics
         http += metrics.requests(PLANE_HTTP)
@@ -47,6 +53,14 @@ def pipeline_counters(servers, tracer=None) -> dict:
         invalidations += (fed.get("app_invalidations")
                           + fed.get("peer_invalidations"))
         failovers += fed.get("poll_failovers")
+        health = getattr(server, "health", None)
+        if health is not None:
+            for status, n in health.model.status_counts().items():
+                status_counts[status] = status_counts.get(status, 0) + n
+            alert_snap = health.alerts.snapshot()
+            alerts_fired += alert_snap["fired"]
+            alerts_resolved += alert_snap["resolved"]
+            health_failovers += health.counters["failovers"]
     row = {
         "http_requests": http,
         "orb_requests": orb,
@@ -57,6 +71,13 @@ def pipeline_counters(servers, tracer=None) -> dict:
         "fed_unsubscribes": unsubscribes,
         "fed_invalidations": invalidations,
         "fed_poll_failovers": failovers,
+        "health_healthy": status_counts["healthy"],
+        "health_degraded": status_counts["degraded"],
+        "health_unhealthy": status_counts["unhealthy"],
+        "health_unknown": status_counts["unknown"],
+        "alerts_fired": alerts_fired,
+        "alerts_resolved": alerts_resolved,
+        "health_failovers": health_failovers,
     }
     if tracer is not None:
         row["spans_recorded"] = len(tracer.store)
@@ -67,15 +88,19 @@ def pipeline_counters(servers, tracer=None) -> dict:
 
 def run_app_scalability(n_apps: int, *, duration: float = 30.0,
                         update_period: float = 0.5,
-                        cost_model: Optional[CostModel] = None) -> dict:
+                        cost_model: Optional[CostModel] = None,
+                        health_enabled: bool = True) -> dict:
     """E1: one server, ``n_apps`` applications pushing updates.
 
     Returns the server-side update-processing lag; the knee past which the
     mean lag grows with offered load marks the capacity the paper reports
-    as ">40 simultaneous applications".
+    as ">40 simultaneous applications".  ``health_enabled=False`` turns the
+    health plane off entirely — the overhead-bench control arm.
     """
-    collab = build_single_server(app_hosts=max(4, n_apps // 4),
-                                 cost_model=cost_model)
+    collab = build_collaboratory(1,
+                                 apps_hosts_per_domain=max(4, n_apps // 4),
+                                 cost_model=cost_model,
+                                 health_enabled=health_enabled)
     collab.run_bootstrap()
     server = collab.server_of(0)
     recorder = LatencyRecorder(collab.sim)
@@ -286,3 +311,114 @@ def run_traced_remote_command(*, wan_latency: float = 0.060,
         **pipeline_counters(collab.servers.values(), tracer=tracer),
     }
     return row, tracer, collab.metrics_registry()
+
+
+def run_fault_injection(*, duration: float = 30.0, kill_at: float = 10.0,
+                        wan_latency: float = 0.030,
+                        heartbeat_period: float = 0.25,
+                        gossip_period: float = 0.5,
+                        peer_call_timeout: float = 0.5,
+                        command_interval: float = 0.5,
+                        response_timeout: float = 5.0,
+                        log_sink=None):
+    """E10: kill a server mid-run; measure detection, failover, alerting.
+
+    Three domains; the steered application is homed in domain 1 with a
+    same-named replica in domain 2.  A resilient client in domain 0 steers
+    through its local server the whole run.  At ``kill_at`` the domain-1
+    server is stopped cold (its ports unbind, so in-flight and later
+    frames are dropped like TCP RSTs).  The health plane on the surviving
+    servers must (a) mark ``server:srvB`` unhealthy within the hysteresis
+    bound, (b) fail the client's commands over to the replica, (c) fire an
+    SLO burn-rate alert on the client-facing server with trace exemplars,
+    and (d) resolve the alert once failover restores the error budget.
+
+    Returns ``(row, collab)`` — the measured row plus the live deployment
+    so callers (the status CLI, the CI artifact exporter) can scrape
+    ``GET /status?format=prom`` from it afterwards.
+    """
+    from repro.apps import SyntheticApp
+    from repro.bench.workload import resilient_steering_client
+    from repro.steering import AppConfig
+
+    spec = LinkSpec(wan_latency=wan_latency)
+    collab = build_collaboratory(3, apps_hosts_per_domain=1,
+                                 client_hosts_per_domain=1, spec=spec,
+                                 health_period=heartbeat_period,
+                                 health_gossip_period=gossip_period,
+                                 log_sink=log_sink)
+    for server in collab.servers.values():
+        server.peer_call_timeout = peer_call_timeout
+    collab.run_bootstrap()
+    interactive = AppConfig(steps_per_phase=1, step_time=0.005,
+                            interaction_window=0.25,
+                            command_service_time=0.002)
+    primary = collab.add_app(1, SyntheticApp, "fault-target",
+                             acl={"bench": "write"}, config=interactive)
+    collab.add_app(2, SyntheticApp, "fault-target",
+                   acl={"bench": "write"}, config=interactive)
+    collab.sim.run(until=collab.sim.now + 2.0)  # apps register
+
+    victim = collab.server_of(1)
+    client_server = collab.server_of(0)
+    portal = collab.add_portal(0)
+    counts: dict = {}
+    t0 = collab.sim.now
+    collab.sim.spawn(resilient_steering_client(
+        portal, primary.app_id, user="bench", duration=duration,
+        command_interval=command_interval, counts=counts,
+        response_timeout=response_timeout))
+    kill_time = {}
+
+    def killer():
+        yield collab.sim.timeout(kill_at)
+        kill_time["t"] = collab.sim.now
+        victim.stop()
+
+    collab.sim.spawn(killer(), name="fault-injector")
+    collab.sim.run(until=t0 + duration + 2.0)
+
+    victim_key = client_server.health.server_key(victim.name)
+    detection = client_server.health.detection_latency(
+        victim.name, kill_time.get("t", t0 + kill_at))
+    survivors = [s for s in collab.servers.values() if s is not victim]
+    exemplars = sorted({tid for a in client_server.health.alerts.history()
+                        for tid in a.exemplars})
+    row = {
+        "duration_s": duration,
+        "kill_at_s": kill_at,
+        "victim": victim.name,
+        "victim_status": client_server.health.status_of(victim_key),
+        "detection_latency_s": detection,
+        "commands_ok": counts.get("ok", 0),
+        "commands_failed": counts.get("failed", 0),
+        "alert_exemplars": len(exemplars),
+        **pipeline_counters(survivors, tracer=collab.tracer),
+    }
+    return row, collab
+
+
+def scrape_status(collab, *, domain_index: int = 0, path: str = "/status",
+                  params: Optional[dict] = None):
+    """Issue one in-sim ``GET`` against a server's status servlet.
+
+    Drives the live deployment a little further so the request flows
+    through the real interceptor pipeline (the scrape itself is metered
+    and traced, like a production Prometheus pull).  Returns the response
+    body — a dict for the JSON views, the raw exposition text for
+    ``params={"format": "prom"}``.
+    """
+    from repro.web.client import HttpClient
+
+    domain = collab.domains[domain_index]
+    host = (domain.client_hosts or [domain.server])[0]
+    client = HttpClient(host, domain.server.name)
+    result = {}
+
+    def scrape():
+        result["body"] = yield from client.get(path, params)
+
+    proc = collab.sim.spawn(scrape(), name="status-scrape")
+    collab.sim.run(until=proc)
+    client.close()
+    return result["body"]

@@ -213,6 +213,29 @@ def bench_end_to_end(quick: bool = False) -> List[Dict]:
     return results
 
 
+def bench_health_overhead(quick: bool = False) -> List[Dict]:
+    """E1 with the health plane on vs off — the plane's wall-clock tax.
+
+    The two entries share the workload exactly (same sweep, same virtual
+    duration), so their ratio is the health plane's overhead; the
+    regression gate in ``benchmarks/test_bench_wallclock.py`` asserts it
+    stays under 5%.
+    """
+    from repro.bench.scenarios import run_app_scalability
+
+    duration = 3.0 if quick else 15.0
+    results = []
+    for enabled in (True, False):
+        t0 = time.perf_counter()
+        run_app_scalability(10, duration=duration, health_enabled=enabled)
+        label = "on" if enabled else "off"
+        results.append(_entry(f"e2e/E1_health_{label}_n10",
+                              time.perf_counter() - t0,
+                              note=f"virtual duration {duration}s, "
+                                   f"health plane {label}"))
+    return results
+
+
 # ---------------------------------------------------------------------------
 # suite + report
 # ---------------------------------------------------------------------------
@@ -221,7 +244,7 @@ def run_suite(quick: bool = False) -> Dict:
     """Run every wall-clock bench; returns the full report dict."""
     benchmarks: List[Dict] = []
     for group in (bench_wire, bench_network, bench_broadcast,
-                  bench_end_to_end):
+                  bench_end_to_end, bench_health_overhead):
         benchmarks.extend(group(quick=quick))
     return {
         "schema": SCHEMA,
@@ -270,6 +293,33 @@ def export_trace(path: str) -> Dict:
     }
 
 
+def export_log(path: str) -> Dict:
+    """Run the fault-injection scenario streaming its structured log.
+
+    Every server's :class:`~repro.obs.StructuredLog` shares one JSONL
+    sink, so the file interleaves the whole fleet's records in event
+    order — sim-time-stamped, trace-correlated, machine-readable.  Like
+    :func:`export_trace`, this is a side artifact, never timed.
+    """
+    from repro.bench.scenarios import run_fault_injection
+
+    lines = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        def sink(line: str) -> None:
+            nonlocal lines
+            fh.write(line + "\n")
+            lines += 1
+
+        row, _collab = run_fault_injection(duration=15.0, kill_at=5.0,
+                                           log_sink=sink)
+    return {
+        "path": path,
+        "records": lines,
+        "victim_status": row["victim_status"],
+        "detection_latency_s": row["detection_latency_s"],
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the wall-clock performance suite.")
@@ -280,6 +330,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-output", default=None,
                         help="also export a JSONL span trace of the "
                              "cross-server steering scenario")
+    parser.add_argument("--log-output", default=None,
+                        help="also export the fleet's structured log "
+                             "(JSONL) from the fault-injection scenario")
     args = parser.parse_args(argv)
     report = run_suite(quick=args.quick)
     print(format_report(report))
@@ -290,6 +343,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         info = export_trace(args.trace_output)
         print(f"trace written to {info['path']} "
               f"({info['spans']} spans, {info['traces']} traces)")
+    if args.log_output:
+        info = export_log(args.log_output)
+        print(f"structured log written to {info['path']} "
+              f"({info['records']} records, victim "
+              f"{info['victim_status']})")
     return 0
 
 

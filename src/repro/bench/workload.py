@@ -138,3 +138,48 @@ def update_watching_client(portal: DiscoverPortal, app_id: str, *,
         if remaining <= 0:
             break
         yield sim.timeout(min(poll_interval, remaining))
+
+
+def resilient_steering_client(portal: DiscoverPortal, app_id: str, *,
+                              user: str, duration: float,
+                              command_interval: float, counts: dict,
+                              command: str = "get_param",
+                              args: Optional[dict] = None,
+                              poll_interval: float = 0.05,
+                              response_timeout: float = 5.0):
+    """Process: steer on a cadence, surviving server failures.
+
+    Unlike :func:`steering_client` (which stops on the first error — the
+    steady-state E6 shape), this client treats failures as data: each
+    command either lands (``counts["ok"]``) or fails
+    (``counts["failed"]``), with per-outcome timestamps, and the loop
+    always continues — the E10 fault-injection workload that measures
+    failover from the client's chair.
+    """
+    sim = portal.sim
+    counts.setdefault("ok", 0)
+    counts.setdefault("failed", 0)
+    counts.setdefault("ok_times", [])
+    counts.setdefault("failed_times", [])
+    yield from portal.login(user)
+    session = yield from portal.open(app_id)
+    deadline = sim.now + duration
+    while sim.now < deadline:
+        t0 = sim.now
+        try:
+            request_id = yield from session.command(
+                command, args or {"name": "gain"})
+            yield from portal.wait_response(request_id,
+                                            timeout=response_timeout,
+                                            poll_interval=poll_interval)
+        except (PortalError, HttpError):
+            counts["failed"] += 1
+            counts["failed_times"].append(t0)
+        else:
+            counts["ok"] += 1
+            counts["ok_times"].append(t0)
+        remaining = deadline - sim.now
+        if remaining <= 0:
+            break
+        yield sim.timeout(min(command_interval, remaining))
+    return counts

@@ -9,6 +9,8 @@
     python -m repro trace                     # trace a cross-server command
     python -m repro trace --view critical-path
     python -m repro trace --chrome trace.json # open in ui.perfetto.dev
+    python -m repro status [--prom]           # fleet health after a fault
+    python -m repro alerts                    # SLO alert fire/resolve log
 
 The full experiment suite (every table, with shape assertions) lives in
 ``benchmarks/`` and runs under ``pytest benchmarks/ --benchmark-only -s``;
@@ -172,6 +174,61 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _fault_deployment(args):
+    """Run the E10 fault-injection scenario the status views render from."""
+    from repro.bench.scenarios import run_fault_injection
+    duration = 15.0 if args.quick else 30.0
+    kill_at = 5.0 if args.quick else 10.0
+    return run_fault_injection(duration=duration, kill_at=kill_at)
+
+
+def cmd_status(args) -> int:
+    """Fleet health after the fault-injection scenario (operator view)."""
+    from repro.bench.scenarios import scrape_status
+
+    row, collab = _fault_deployment(args)
+    if args.prom:
+        print(scrape_status(collab, params={"format": "prom"}))
+        return 0
+    body = scrape_status(collab)
+    print(f"status of {body['server']} at sim-time {body['time']:.2f}s")
+    fleet = body["health"]["fleet"]
+    rows = [{"component": key, "status": status}
+            for key, status in sorted(fleet.items())]
+    print(format_table(rows, ["component", "status"], title="fleet health"))
+    slo_rows = [{"slo": name, **detail}
+                for name, detail in sorted(body["slo"].items())]
+    if slo_rows:
+        print(format_table(slo_rows,
+                           ["slo", "sli", "compliant",
+                            "burn_fast", "burn_slow"],
+                           title="SLO compliance"))
+    print(f"scenario: victim={row['victim']} "
+          f"status={row['victim_status']} "
+          f"detection_latency_s={row['detection_latency_s']} "
+          f"failovers={row['health_failovers']}")
+    return 0
+
+
+def cmd_alerts(args) -> int:
+    """Alert history after the fault-injection scenario."""
+    from repro.bench.scenarios import scrape_status
+
+    row, collab = _fault_deployment(args)
+    body = scrape_status(collab, path="/status/alerts")
+    for label in ("active", "history"):
+        records = body[label]
+        print(f"{label}: {len(records)} alert(s)")
+        if records:
+            print(format_table(records,
+                               ["slo", "severity", "fired_at",
+                                "resolved_at", "exemplars"]))
+    print(f"scenario: alerts_fired={row['alerts_fired']} "
+          f"alerts_resolved={row['alerts_resolved']} "
+          f"exemplar_traces={row['alert_exemplars']}")
+    return 0
+
+
 def cmd_demo(_args) -> int:
     """A compressed version of examples/quickstart.py."""
     from repro import AppConfig, build_single_server
@@ -234,6 +291,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "(ui.perfetto.dev)")
     trace_p.add_argument("--metrics", action="store_true",
                          help="print the unified metrics snapshot")
+    status_p = sub.add_parser(
+        "status", help="fleet health view from the fault-injection run")
+    status_p.add_argument("--quick", action="store_true",
+                          help="shorter virtual run")
+    status_p.add_argument("--prom", action="store_true",
+                          help="print the Prometheus exposition instead")
+    alerts_p = sub.add_parser(
+        "alerts", help="alert fire/resolve history from the "
+                       "fault-injection run")
+    alerts_p.add_argument("--quick", action="store_true",
+                          help="shorter virtual run")
     return parser
 
 
@@ -245,6 +313,8 @@ def main(argv=None) -> int:
         "experiments": cmd_experiments,
         "run": cmd_run,
         "trace": cmd_trace,
+        "status": cmd_status,
+        "alerts": cmd_alerts,
         None: cmd_info,
     }
     return handlers[args.command](args)

@@ -89,6 +89,10 @@ class DiscoverCorbaServerServant:
         return self.server.collab.broadcast_group(
             app_id, group, msg, exclude=exclude or None)
 
+    def exchange_health(self, server_name: str, view: dict) -> dict:
+        """Gossip: merge a peer's health view and answer with ours."""
+        return self.server.health.exchange(server_name, view)
+
 
 class CorbaProxyServant:
     """Level-two interface: one application's gateway to remote servers."""

@@ -90,6 +90,10 @@ class DaemonService:
                 frame = yield self.endpoint.recv()
                 msg = frame.payload
                 if not isinstance(msg, Message):
+                    self.server.log.warn(
+                        "daemon.frame_dropped", reason="not a Message",
+                        src=frame.src_host, payload=type(msg).__name__)
+                    self.server.health.note_channel_failure()
                     continue
                 # custom-TCP-channel service cost on the server CPU
                 yield from self.server.host.use_cpu(costs.tcp_cost(frame.size))
@@ -126,6 +130,14 @@ class DaemonService:
                 self.server.on_app_phase(msg.app_id, msg.detail)
             elif msg.event == "deregister":
                 self.server.on_app_deregister(msg.app_id)
+            else:
+                self.server.log.warn(
+                    "daemon.unknown_control_event", event=msg.event,
+                    app_id=msg.app_id, src=frame.src_host)
+        else:
+            self.server.log.warn(
+                "daemon.unhandled_message", message=type(msg).__name__,
+                src=frame.src_host)
         return None
 
     def _on_register(self, frame, msg: RegisterMessage) -> AckMessage:

@@ -98,6 +98,7 @@ class Collaboratory:
             registry.register(f"pipeline[{name}]", server.pipeline_metrics)
             registry.register(f"federation[{name}]",
                               server.federation_metrics)
+            registry.register(f"health[{name}]", server.health)
         registry.register("traffic", self.net.trace)
         registry.register("spans", self.tracer)
         return registry
@@ -135,6 +136,10 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
                         remote_access: str = "relay",
                         trace_sampling="always",
                         trace_max_spans: int = 50_000,
+                        health_period: float = 0.5,
+                        health_gossip_period: Optional[float] = None,
+                        health_enabled: bool = True,
+                        log_sink=None,
                         sim: Optional[Simulator] = None) -> Collaboratory:
     """Build a ready-to-bootstrap multi-domain collaboratory.
 
@@ -182,7 +187,11 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
             update_mode=update_mode,
             update_poll_interval=update_poll_interval,
             remote_access=remote_access,
-            tracer=tracer)
+            tracer=tracer,
+            health_period=health_period,
+            health_gossip_period=health_gossip_period,
+            health_enabled=health_enabled,
+            log_sink=log_sink)
         servers[server.name] = server
 
     collab = Collaboratory(sim, net, domains, servers, registry_orb, naming,

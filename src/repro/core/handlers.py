@@ -38,6 +38,7 @@ def mount_all(server: "DiscoverServer") -> None:
     server.container.mount("/command", CommandServlet(server))
     server.container.mount("/collab", CollaborationServlet(server))
     server.container.mount("/archive", ArchiveServlet(server))
+    server.container.mount("/status", StatusServlet(server))
 
 
 class DiscoverServlet(Servlet):
@@ -201,6 +202,60 @@ class CollaborationServlet(DiscoverServlet):
         delivered = self.server.collab.share_view(
             p["client_id"], p["app_id"], p.get("group", DEFAULT_GROUP), view)
         return {"delivered": delivered}
+
+
+class StatusServlet(DiscoverServlet):
+    """The live health/SLO surface of one server (the operator's view).
+
+    - ``GET /status`` — fleet statuses, active alerts, SLO compliance
+    - ``GET /status?format=prom`` — the whole metrics registry + health
+      gauges in Prometheus text format (the scrape endpoint)
+    - ``GET /status/app?app_id=...`` — one application's health detail
+    - ``GET /status/alerts`` — full alert history (fire/resolve records)
+
+    Served through the standard interceptor pipeline like every other
+    servlet, so status requests are themselves metered, traced, and
+    access-controlled.
+    """
+
+    def do_get(self, request, session):
+        p = request.params
+        health = self.server.health
+        if p.get("format") == "prom":
+            from repro.health import to_prometheus
+            return to_prometheus(self.server.metrics_registry(),
+                                 monitor=health)
+        action = request.path.rsplit("/", 1)[-1]
+        if action == "app":
+            return self._app_detail(p["app_id"])
+        if action == "alerts":
+            return {"server": self.server.name,
+                    "active": [a.to_record() for a in health.alerts.active()],
+                    "history": [a.to_record()
+                                for a in health.alerts.history()]}
+        snap = health.snapshot()
+        return {"server": self.server.name,
+                "time": self.server.sim.now,
+                "health": {"counts": snap["counts"],
+                           "components": snap["components"],
+                           "fleet": health.fleet_view()},
+                "slo": health.slos.compliance(),
+                "alerts": [a.to_record() for a in health.alerts.active()]}
+
+    def _app_detail(self, app_id):
+        health = self.server.health
+        proxy = self.server.local_proxies.get(app_id)
+        detail = {"server": self.server.name, "app_id": app_id,
+                  "status": health.status_of(health.app_key(app_id))}
+        if proxy is not None:
+            detail.update({
+                "name": proxy.app_name, "active": proxy.active,
+                "phase": proxy.phase,
+                "commands_forwarded": proxy.commands_forwarded,
+                "commands_buffered": proxy.commands_buffered,
+                "updates_received": proxy.updates_received,
+            })
+        return detail
 
 
 class ArchiveServlet(DiscoverServlet):

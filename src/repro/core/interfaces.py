@@ -35,6 +35,8 @@ DISCOVER_CORBA_SERVER = Interface("DiscoverCorbaServer", (
     Operation("deliver_group_message", ("app_id", "group", "msg"),
               oneway=True,
               doc="push a chat/whiteboard/shared-view group message"),
+    Operation("exchange_health", ("server_name", "view"),
+              doc="gossip: merge a peer's health view, return ours"),
 ))
 
 #: Level two — one application's gateway for all other servers (§5.1.2)

@@ -35,6 +35,7 @@ from repro.core.security import (
 )
 from repro.core.interfaces import CORBA_PROXY, DISCOVER_CORBA_SERVER
 from repro.federation import AppRouter, PeerRegistry, SubscriptionManager
+from repro.health import HealthMonitor
 from repro.metrics import FederationMetrics, PipelineMetrics
 from repro.net.costs import CostModel
 from repro.pipeline.core import PLANE_CHANNEL, PLANE_HTTP, PLANE_ORB, Pipeline
@@ -70,7 +71,11 @@ class DiscoverServer:
                  update_poll_interval: float = 0.5,
                  remote_access: str = "relay",
                  http_port: int = 80,
-                 tracer=None) -> None:
+                 tracer=None,
+                 health_period: float = 0.5,
+                 health_gossip_period: Optional[float] = None,
+                 health_enabled: bool = True,
+                 log_sink=None) -> None:
         self.host = host
         self.sim = host.sim
         self.name = host.name
@@ -117,6 +122,12 @@ class DiscoverServer:
             from repro.obs import SAMPLE_OFF, Tracer
             tracer = Tracer(sampling=SAMPLE_OFF, clock=lambda: self.sim.now)
         self.tracer = tracer
+        #: structured JSONL event log (sim-time + trace-context stamped);
+        #: replaces the old silent drops in the daemon/federation paths
+        from repro.obs import StructuredLog
+        self.log = StructuredLog(clock=lambda: self.sim.now,
+                                 server=self.name, tracer=tracer,
+                                 sink=log_sink)
         self.container = ServletContainer(
             host, port=http_port, cost_model=self.costs,
             pipeline=self._build_pipeline(PLANE_HTTP))
@@ -135,6 +146,17 @@ class DiscoverServer:
             metrics=self.federation_metrics)
         self.router = AppRouter(self, self.registry)
         self.subscriptions = SubscriptionManager(self)
+
+        # -- health plane (heartbeats, SLO burn rates, fleet view) ----------
+        #: the federation layer reports peer call outcomes here, and
+        #: routing consults it to avoid unhealthy peers (one shared feed —
+        #: the registry and the subscription manager no longer track
+        #: liveness independently)
+        self.health = HealthMonitor(
+            self, period=health_period,
+            gossip_period=health_gossip_period, enabled=health_enabled)
+        self.registry.health = self.health
+        self.registry.log = self.log
 
         # -- state -----------------------------------------------------------
         self.local_proxies: Dict[str, ApplicationProxy] = {}
@@ -386,7 +408,7 @@ class DiscoverServer:
         an instruction for the portal to go to the home server itself.
         """
         session = self.collab.session(client_id)
-        handle = self.router.resolve(app_id)
+        handle = self.router.resolve_for(session, app_id)
         info = yield from handle.open(session.user)
         if "redirect" in info:
             return info  # the portal re-selects at the home server
@@ -403,8 +425,8 @@ class DiscoverServer:
         """
         session = self.collab.session(client_id)
         self.stats["commands_submitted"] += 1
-        return (yield from self.router.resolve(app_id).deliver_command(
-            session, command, args or {}))
+        return (yield from self.router.resolve_for(session, app_id)
+                .deliver_command(session, command, args or {}))
 
     def submit_local_command(self, user: str, client_id: str, app_id: str,
                              command: str, args: dict,
@@ -624,8 +646,21 @@ class DiscoverServer:
         if cost > 0:
             self.sim.spawn(self.host.use_cpu(cost), name="async-cpu")
 
+    def metrics_registry(self):
+        """This server's own snapshot surface (the ``/status`` servlet's
+        data source; deployments aggregate across servers instead)."""
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+        registry.register(f"pipeline[{self.name}]", self.pipeline_metrics)
+        registry.register(f"federation[{self.name}]",
+                          self.federation_metrics)
+        registry.register(f"health[{self.name}]", self.health)
+        registry.register(f"log[{self.name}]", self.log)
+        return registry
+
     def stop(self) -> None:
         """Shut down every component (end of scenario)."""
+        self.health.stop()
         self.container.stop()
         self.daemon.stop()
         self.orb.shutdown()

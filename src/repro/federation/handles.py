@@ -137,7 +137,16 @@ class RemoteAppHandle(AppHandle):
         self.home = home_server_of(app_id)
 
     def _stub(self):
-        """Generator: the (cached) level-two stub for the application."""
+        """Generator: the (cached) level-two stub for the application.
+
+        Fails eagerly when the health model has already marked the home
+        server unhealthy — an immediate error the caller (or the router's
+        replica failover) can act on, instead of a full call timeout.
+        """
+        if self.registry.peer_unhealthy(self.home):
+            self.server.federation_metrics.count("eager_failfast")
+            raise OrbError(f"peer {self.home!r} marked unhealthy "
+                           f"(eager failover at {self.server.name})")
         return (yield from self.registry.remote_proxy_stub(self.app_id))
 
     def _relay(self, op: str, *args, **kwargs):
@@ -155,11 +164,14 @@ class RemoteAppHandle(AppHandle):
                                             "home": self.home}):
             stub = yield from self._stub()
             try:
-                return (yield from getattr(stub, op)(*args, **kwargs))
-            except OrbError:
+                result = yield from getattr(stub, op)(*args, **kwargs)
+            except OrbError as exc:
                 self.registry.invalidate_app(self.app_id)
                 self.registry.invalidate_peer(self.home)
+                self.registry._note_peer_exc(self.home, exc)
                 raise
+            self.registry._note_peer(self.home, True)
+            return result
 
     def open(self, user: str):
         """Generator: relay the §5.2.2 select — or, in the §4.1
@@ -191,12 +203,15 @@ class RemoteAppHandle(AppHandle):
             stub = yield from self._stub()
             self.server.stats["remote_commands_relayed"] += 1
             try:
-                return (yield from stub.deliver_command(
-                    session.user, session.client_id, command, args))
-            except OrbError:
+                result = yield from stub.deliver_command(
+                    session.user, session.client_id, command, args)
+            except OrbError as exc:
                 self.registry.invalidate_app(self.app_id)
                 self.registry.invalidate_peer(self.home)
+                self.registry._note_peer_exc(self.home, exc)
                 raise
+            self.registry._note_peer(self.home, True)
+            return result
 
     # -- lock protocol (relayed; host server stays authoritative) ----------
     def acquire_lock(self, client_id: str):

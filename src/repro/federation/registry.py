@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.interfaces import CORBA_PROXY, DISCOVER_CORBA_SERVER
-from repro.orb import ObjectRef, OrbError
+from repro.orb import CommFailure, ObjectRef, OrbError
 from repro.orb.idl import Stub, make_stub
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,6 +58,32 @@ class PeerRegistry:
         self._proxy_stubs: Dict[str, Stub] = {}
         #: app_id → resolved CorbaProxy reference (level-two cache)
         self._proxy_refs: Dict[str, ObjectRef] = {}
+        #: the server's HealthMonitor — every peer call outcome feeds it,
+        #: so liveness is judged in one place (set by DiscoverServer)
+        self.health = None
+        #: the server's StructuredLog (set by DiscoverServer)
+        self.log = None
+
+    # -- health feed -------------------------------------------------------
+    def _note_peer(self, name: str, ok: bool) -> None:
+        if self.health is not None:
+            if ok:
+                self.health.note_peer_success(name)
+            else:
+                self.health.note_peer_failure(name)
+
+    def _note_peer_exc(self, name: str, exc: OrbError) -> None:
+        """Fold a failed peer call into the health model.
+
+        Only a :class:`CommFailure` counts as a liveness miss — any other
+        ORB error (a :class:`RemoteException`, say) is an *answer*, which
+        is proof the peer is alive even though the call failed.
+        """
+        self._note_peer(name, not isinstance(exc, CommFailure))
+
+    def peer_unhealthy(self, name: str) -> bool:
+        """Routing predicate: the health model says avoid this peer."""
+        return self.health is not None and self.health.is_unhealthy_peer(name)
 
     # -- discovery ---------------------------------------------------------
     def discover_peers(self):
@@ -95,10 +121,34 @@ class PeerRegistry:
         """Generator: liveness probe; False (and caches dropped) if dead."""
         try:
             answer = yield from self.peer_stub(name).ping()
-        except OrbError:
+        except OrbError as exc:
             self.invalidate_peer(name)
+            self._note_peer_exc(name, exc)
             return False
-        return answer == name
+        ok = answer == name
+        self._note_peer(name, ok)
+        return ok
+
+    def exchange_health(self, peer: str, view: dict):
+        """Generator: gossip one health view with a peer; returns the
+        peer's view, or None if the peer is unreachable (noted as a miss).
+
+        This is the only place the health plane touches the wire — opt-in
+        via the monitor's ``gossip_period`` (see
+        :class:`repro.health.HealthMonitor`).
+        """
+        try:
+            answer = yield from self.peer_stub(peer).exchange_health(
+                self.server_name, view)
+        except OrbError as exc:
+            self.invalidate_peer(peer)
+            self._note_peer_exc(peer, exc)
+            if self.log is not None:
+                self.log.warn("federation.gossip_failed", peer=peer,
+                              error=str(exc))
+            return None
+        self._note_peer(peer, True)
+        return answer
 
     # -- typed stubs -------------------------------------------------------
     def peer_stub(self, name: str) -> Stub:
@@ -136,9 +186,11 @@ class PeerRegistry:
                                   attrs={"app_id": app_id, "home": home}):
             try:
                 ref = yield from self.peer_stub(home).get_corba_proxy(app_id)
-            except OrbError:
+            except OrbError as exc:
                 self.invalidate_peer(home)
+                self._note_peer_exc(home, exc)
                 raise
+        self._note_peer(home, True)
         self._proxy_refs[app_id] = ref
         return ref
 
@@ -184,28 +236,42 @@ class PeerRegistry:
         every peer and merge the application summaries they return."""
         found: Dict[str, dict] = {}
         for peer in list(self.peers):
+            if self.peer_unhealthy(peer):
+                # the health model already marked it down — skip the
+                # synchronous call instead of burning a timeout on it
+                if self.log is not None:
+                    self.log.warn("federation.skip_unhealthy_peer",
+                                  peer=peer, op="authenticate_and_list")
+                continue
             try:
                 apps = yield from self.peer_stub(peer).authenticate_and_list(
                     user)
-            except OrbError:
+            except OrbError as exc:
                 # peer down — availability "determined at runtime"
                 self.invalidate_peer(peer)
+                self._note_peer_exc(peer, exc)
+                if self.log is not None:
+                    self.log.warn("federation.peer_unreachable", peer=peer,
+                                  op="authenticate_and_list", error=str(exc))
                 continue
+            self._note_peer(peer, True)
             for summary in apps:
                 found[summary["app_id"]] = summary
         return found
 
     def push_update(self, peer: str, app_id: str, msg) -> bool:
-        """Oneway §5.2.3 update push to a subscribed peer (if known)."""
-        if peer not in self.peers:
+        """Oneway §5.2.3 update push to a subscribed peer (if known and
+        not marked unhealthy)."""
+        if peer not in self.peers or self.peer_unhealthy(peer):
             return False
         self.peer_stub(peer).deliver_update(app_id, msg)
         return True
 
     def push_group_message(self, peer: str, app_id: str, group: str, msg,
                            exclude: str = "") -> bool:
-        """Oneway group-message push to a subscribed peer (if known)."""
-        if peer not in self.peers:
+        """Oneway group-message push to a subscribed peer (if known and
+        not marked unhealthy)."""
+        if peer not in self.peers or self.peer_unhealthy(peer):
             return False
         self.peer_stub(peer).deliver_group_message(app_id, group, msg,
                                                    exclude=exclude)
@@ -213,7 +279,7 @@ class PeerRegistry:
 
     def push_to_client(self, owner: str, client_id: str, msg) -> bool:
         """Oneway response/notification push to the client's home server."""
-        if owner not in self.peers:
+        if owner not in self.peers or self.peer_unhealthy(owner):
             return False
         self.peer_stub(owner).deliver_to_client(client_id, msg)
         return True

@@ -47,6 +47,60 @@ class AppRouter:
             self._handles[app_id] = handle
         return handle
 
+    def resolve_for(self, session, app_id: str) -> AppHandle:
+        """Resolve with health-aware replica failover.
+
+        Like :meth:`resolve`, but when the application's home server is
+        marked unhealthy and the session can see another application of
+        the same *name* on a healthy (or local) server, the request is
+        routed to that replica instead of burning a timeout against the
+        dead home.  With no replica available the original handle is
+        returned — callers still get the eager fail-fast error.
+        """
+        handle = self.resolve(app_id)
+        if handle.is_local:
+            return handle
+        home = home_server_of(app_id)
+        if not self.server.health.is_unhealthy_peer(home):
+            return handle
+        replica = self._find_replica(session, app_id)
+        if replica is None:
+            return handle
+        self.server.health.note_failover()
+        return self.resolve(replica)
+
+    def _find_replica(self, session, app_id: str):
+        """A same-named application on a healthy server, if any.
+
+        Replicas are applications registered under the same name on
+        different servers; the session's visibility (local apps it may
+        access + the remote summaries gathered at login) bounds the
+        search, so failover never widens what a user can reach.
+        """
+        wanted = self._app_name(session, app_id)
+        if wanted is None:
+            return None
+        # Prefer a local replica: no WAN hop, and trivially not unhealthy.
+        for summary in self.server.visible_apps(session.user):
+            if (summary["app_id"] != app_id
+                    and summary.get("name") == wanted):
+                return summary["app_id"]
+        for other_id, summary in sorted(
+                getattr(session, "remote_apps", {}).items()):
+            if other_id == app_id or summary.get("name") != wanted:
+                continue
+            other_home = home_server_of(other_id)
+            if not self.server.health.is_unhealthy_peer(other_home):
+                return other_id
+        return None
+
+    def _app_name(self, session, app_id: str):
+        remote = getattr(session, "remote_apps", {}).get(app_id)
+        if remote is not None:
+            return remote.get("name")
+        proxy = self.server.local_proxies.get(app_id)
+        return proxy.app_name if proxy is not None else None
+
     def forget(self, app_id: str) -> None:
         """Drop a cached handle (deregistration / ``app_stopped``)."""
         self._handles.pop(app_id, None)

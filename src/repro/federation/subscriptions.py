@@ -101,12 +101,25 @@ class SubscriptionManager:
         server, app_id = self.server, handle.app_id
         last_seq = 0
         idle_rounds = 0
+        skipped = 0
         while idle_rounds < 3 or server.collab.local_subscribers(app_id):
             yield self.sim.timeout(server.update_poll_interval)
             if not server.collab.local_subscribers(app_id):
                 idle_rounds += 1
                 continue
             idle_rounds = 0
+            if server.health.is_unhealthy_peer(handle.home):
+                # The shared health model (fed by registry pings, relays,
+                # and these poll rounds alike) already marked the home
+                # server down — don't burn a timeout on it each round.
+                # Every few rounds one probe still goes through, so a
+                # recovered home server is re-observed and polling resumes.
+                skipped += 1
+                if skipped % 4 != 0:
+                    self.metrics.count("poll_skipped_unhealthy")
+                    continue
+            else:
+                skipped = 0
             # Each round roots its own trace — pollers are background
             # processes, so there is no caller context to join.
             with server.tracer.span("federation.poll_round",
@@ -115,10 +128,12 @@ class SubscriptionManager:
                                            "since_seq": last_seq}):
                 try:
                     updates = yield from handle.get_updates_since(last_seq)
-                except OrbError:
+                except OrbError as exc:
                     self.metrics.count("poll_failovers")
+                    server.registry._note_peer_exc(handle.home, exc)
                     continue
             self.metrics.count("poll_rounds")
+            server.health.note_peer_success(handle.home)
             for update in updates:
                 last_seq = max(last_seq, update.seq)
                 self.observe_update(app_id, update)

@@ -1,0 +1,214 @@
+"""Health status taxonomy and the hysteresis state machine.
+
+The paper's Daemon handler and server-to-server Control network exist so
+operators can tell which servers and applications in the collaboratory
+are alive; this module gives that judgement a first-class representation.
+Each monitored component — a server, an application proxy, a peer — is a
+:class:`ComponentHealth` fed a stream of success/failure observations
+(heartbeats, liveness pings, relay outcomes) and reduced to one of four
+statuses:
+
+- ``healthy`` — recent observations succeed
+- ``degraded`` — a previously healthy component missed an observation
+  (transient WAN blip territory; nothing is routed away yet)
+- ``unhealthy`` — :attr:`down_after` consecutive misses (routing avoids
+  the component; callers fail over eagerly)
+- ``unknown`` — never observed
+
+Transitions are hysteretic so statuses do not flap: going *down* takes
+``down_after`` consecutive failures and coming *back* from unhealthy
+takes ``up_after`` consecutive successes.  A degraded component recovers
+on a single success — it was never considered down.
+
+Everything here is plain bookkeeping on the simulated clock: recording
+an observation schedules no events, sends no messages, and charges no
+CPU, which is what lets the health plane run enabled-by-default without
+perturbing a single experiment table.
+
+This module is internal to :mod:`repro.health` — callers use the
+:class:`~repro.health.monitor.HealthMonitor` query API via the package
+facade (the health-boundary lint in ``tools/check_pipeline_boundary.py``
+enforces it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: never observed
+STATUS_UNKNOWN = "unknown"
+#: recent observations succeed
+STATUS_HEALTHY = "healthy"
+#: a healthy component missed at least one observation (not yet down)
+STATUS_DEGRADED = "degraded"
+#: ``down_after`` consecutive misses — routing avoids the component
+STATUS_UNHEALTHY = "unhealthy"
+
+#: all statuses, in increasing order of badness
+STATUS_ORDER = (STATUS_UNKNOWN, STATUS_HEALTHY, STATUS_DEGRADED,
+                STATUS_UNHEALTHY)
+
+#: numeric encoding for gauges (Prometheus export, registry snapshots)
+STATUS_CODES = {STATUS_UNKNOWN: 0, STATUS_HEALTHY: 1,
+                STATUS_DEGRADED: 2, STATUS_UNHEALTHY: 3}
+
+#: default hysteresis: consecutive misses before a component goes down
+DEFAULT_DOWN_AFTER = 3
+#: default hysteresis: consecutive successes before it is trusted again
+DEFAULT_UP_AFTER = 2
+
+
+class ComponentHealth:
+    """Hysteresis state machine for one monitored component."""
+
+    __slots__ = ("component", "down_after", "up_after", "status",
+                 "since", "last_seen", "_fail_streak", "_ok_streak",
+                 "successes", "failures", "transitions")
+
+    def __init__(self, component: str, *,
+                 down_after: int = DEFAULT_DOWN_AFTER,
+                 up_after: int = DEFAULT_UP_AFTER) -> None:
+        if down_after < 1 or up_after < 1:
+            raise ValueError("hysteresis thresholds must be >= 1")
+        self.component = component
+        self.down_after = down_after
+        self.up_after = up_after
+        self.status = STATUS_UNKNOWN
+        #: sim time of the last status change (0.0 until first observed)
+        self.since = 0.0
+        #: sim time of the last successful observation
+        self.last_seen: Optional[float] = None
+        self._fail_streak = 0
+        self._ok_streak = 0
+        self.successes = 0
+        self.failures = 0
+        #: (time, old_status, new_status) history, oldest first
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    def _become(self, status: str, now: float) -> None:
+        if status == self.status:
+            return
+        self.transitions.append((now, self.status, status))
+        self.status = status
+        self.since = now
+
+    def record_success(self, now: float) -> str:
+        """One good observation (heartbeat arrived, call succeeded)."""
+        self.successes += 1
+        self.last_seen = now
+        self._ok_streak += 1
+        self._fail_streak = 0
+        if self.status in (STATUS_UNKNOWN, STATUS_DEGRADED):
+            # unknown: first contact; degraded: it was never down —
+            # a single good observation restores full trust.
+            self._become(STATUS_HEALTHY, now)
+        elif self.status == STATUS_UNHEALTHY:
+            if self._ok_streak >= self.up_after:
+                self._become(STATUS_HEALTHY, now)
+        return self.status
+
+    def record_failure(self, now: float) -> str:
+        """One missed/failed observation."""
+        self.failures += 1
+        self._fail_streak += 1
+        self._ok_streak = 0
+        if self._fail_streak >= self.down_after:
+            self._become(STATUS_UNHEALTHY, now)
+        elif self.status == STATUS_HEALTHY:
+            self._become(STATUS_DEGRADED, now)
+        return self.status
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ComponentHealth {self.component!r} {self.status} "
+                f"ok={self._ok_streak} fail={self._fail_streak}>")
+
+
+class HealthModel:
+    """All components one server knows about, keyed by component name.
+
+    Component keys follow a two-part convention shared fleet-wide (so
+    gossiped views merge cleanly): ``server:<name>`` for DISCOVER
+    servers (self and peers alike) and ``app:<app_id>`` for application
+    proxies.
+    """
+
+    def __init__(self, *, clock: Callable[[], float],
+                 down_after: int = DEFAULT_DOWN_AFTER,
+                 up_after: int = DEFAULT_UP_AFTER) -> None:
+        self._clock = clock
+        self.down_after = down_after
+        self.up_after = up_after
+        self._components: Dict[str, ComponentHealth] = {}
+
+    # -- observation -------------------------------------------------------
+    def component(self, key: str) -> ComponentHealth:
+        entry = self._components.get(key)
+        if entry is None:
+            entry = ComponentHealth(key, down_after=self.down_after,
+                                    up_after=self.up_after)
+            self._components[key] = entry
+        return entry
+
+    def record_success(self, key: str) -> str:
+        return self.component(key).record_success(self._clock())
+
+    def record_failure(self, key: str) -> str:
+        return self.component(key).record_failure(self._clock())
+
+    def forget(self, key: str) -> None:
+        """Drop a component (e.g. a deregistered application)."""
+        self._components.pop(key, None)
+
+    # -- queries -----------------------------------------------------------
+    def status_of(self, key: str) -> str:
+        entry = self._components.get(key)
+        return entry.status if entry is not None else STATUS_UNKNOWN
+
+    def is_unhealthy(self, key: str) -> bool:
+        return self.status_of(key) == STATUS_UNHEALTHY
+
+    def components(self) -> List[str]:
+        return sorted(self._components)
+
+    def statuses(self) -> Dict[str, str]:
+        return {key: entry.status
+                for key, entry in sorted(self._components.items())}
+
+    def status_counts(self) -> Dict[str, int]:
+        """``{status: how many components}`` over every known status."""
+        counts = {status: 0 for status in STATUS_ORDER}
+        for entry in self._components.values():
+            counts[entry.status] += 1
+        return counts
+
+    def transitions(self) -> List[Tuple[float, str, str, str]]:
+        """Every ``(time, component, old, new)`` transition, time-ordered."""
+        out = []
+        for key, entry in self._components.items():
+            for when, old, new in entry.transitions:
+                out.append((when, key, old, new))
+        out.sort()
+        return out
+
+    def detection_latency(self, key: str, since: float) -> Optional[float]:
+        """Sim seconds from ``since`` until ``key`` first went unhealthy
+        at or after ``since`` (None if it never did)."""
+        entry = self._components.get(key)
+        if entry is None:
+            return None
+        for when, _old, new in entry.transitions:
+            if new == STATUS_UNHEALTHY and when >= since:
+                return when - since
+        return None
+
+    def snapshot(self) -> dict:
+        """Plain-dict reduction for the metrics registry / status surface."""
+        return {
+            "counts": self.status_counts(),
+            "components": {
+                key: {"status": entry.status, "since": entry.since,
+                      "failures": entry.failures,
+                      "successes": entry.successes}
+                for key, entry in sorted(self._components.items())
+            },
+        }

@@ -1,0 +1,146 @@
+"""Prometheus text-format export of the metrics registry + health gauges.
+
+``to_prometheus`` walks a
+:class:`~repro.obs.registry.MetricsRegistry` snapshot and flattens every
+numeric leaf into the Prometheus exposition format (text version 0.0.4):
+source names like ``pipeline[srvA]`` become a metric family with an
+``instance`` label, nested dict paths join with ``_``, and names are
+sanitized to the ``[a-zA-Z_][a-zA-Z0-9_]*`` grammar with a ``repro_``
+prefix.  When a :class:`~repro.health.monitor.HealthMonitor` is supplied
+its component statuses are exported as
+``repro_health_status{component="..."} <code>`` gauges (see
+``STATUS_CODES``) plus alert counters, so one scrape carries the whole
+observability surface.
+
+``parse_prometheus`` is the strict inverse used by the CI round-trip
+check: it validates the line grammar and returns ``{(name, labels):
+value}``, raising :class:`ValueError` on any malformed line — which is
+what makes "the status page emits valid Prometheus text" a testable
+claim rather than a hope.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.health.model import STATUS_CODES
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|\.\d+|nan|inf|-inf))"
+    r"(?:\s+\d+)?$")
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+
+PREFIX = "repro"
+
+
+def _sanitize(part: str) -> str:
+    name = _NAME_OK.sub("_", part)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _split_source(source: str) -> Tuple[str, Optional[str]]:
+    """``"pipeline[srvA]"`` → ``("pipeline", "srvA")``."""
+    if source.endswith("]") and "[" in source:
+        family, instance = source[:-1].split("[", 1)
+        return family, instance
+    return source, None
+
+
+def _flatten(prefix: str, value, out) -> None:
+    if isinstance(value, bool):
+        out.append((prefix, 1.0 if value else 0.0))
+    elif isinstance(value, (int, float)):
+        out.append((prefix, float(value)))
+    elif isinstance(value, dict):
+        for key in sorted(value, key=str):
+            _flatten(f"{prefix}_{_sanitize(str(key))}", value[key], out)
+    # strings / lists / None are not gauges — skipped
+
+
+def to_prometheus(registry, monitor=None) -> str:
+    """Render a registry (and optionally a health monitor) as text format."""
+    families: Dict[str, list] = {}
+
+    def emit(name: str, labels: str, value: float) -> None:
+        families.setdefault(name, []).append((labels, value))
+
+    if registry is not None:
+        for source, snap in sorted(registry.snapshot().items()):
+            family, instance = _split_source(source)
+            base = f"{PREFIX}_{_sanitize(family)}"
+            labels = (f'{{instance="{_escape_label(instance)}"}}'
+                      if instance is not None else "")
+            leaves: list = []
+            _flatten("", snap, leaves)
+            for path, value in leaves:
+                emit(base + path, labels, value)
+
+    if monitor is not None:
+        for component, status in sorted(monitor.fleet_view().items()):
+            emit(f"{PREFIX}_health_status",
+                 f'{{component="{_escape_label(component)}",'
+                 f'server="{_escape_label(monitor.server.name)}"}}',
+                 float(STATUS_CODES.get(status, 0)))
+        for name, value in sorted(monitor.alerts.snapshot().items()):
+            emit(f"{PREFIX}_alerts_{_sanitize(name)}", "", float(value))
+        for name, value in sorted(monitor.counters.items()):
+            emit(f"{PREFIX}_health_{_sanitize(name)}", "", float(value))
+
+    lines = []
+    for name in sorted(families):
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in families[name]:
+            lines.append(f"{name}{labels} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                                        float]:
+    """Strictly parse exposition text back into ``{(name, labels): value}``.
+
+    Raises :class:`ValueError` on any line that is neither a comment,
+    blank, nor a well-formed sample — the round-trip guarantee for the
+    status surface and CI artifacts.
+    """
+    out: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: invalid sample {line!r}")
+        labels = []
+        raw = match.group("labels")
+        if raw:
+            for pair in raw.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                label = _LABEL_RE.match(pair)
+                if label is None:
+                    raise ValueError(
+                        f"line {lineno}: invalid label {pair!r}")
+                labels.append((label.group("key"), label.group("val")))
+        key = (match.group("name"), tuple(labels))
+        if key in out:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        out[key] = float(match.group("value"))
+    return out

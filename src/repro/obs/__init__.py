@@ -16,6 +16,7 @@ from repro.obs.export import (export_chrome, export_jsonl, load_jsonl,
                               tree_signature)
 from repro.obs.interceptor import (TRACE_CTX_KEY, TRACE_PARENT_KEY,
                                    TracingInterceptor)
+from repro.obs.log import StructuredLog
 from repro.obs.registry import MetricsRegistry
 from repro.obs.render import (format_critical_path, format_trace_summary,
                               format_trace_tree)
@@ -31,6 +32,7 @@ __all__ = [
     "Span",
     "SpanNode",
     "SpanStore",
+    "StructuredLog",
     "TRACE_CTX_KEY",
     "TRACE_PARENT_KEY",
     "TraceContext",

@@ -1,0 +1,113 @@
+"""Prometheus exposition: generation, strict parsing, round-trips."""
+
+import pytest
+
+from repro.health import parse_prometheus, to_prometheus
+from repro.obs import MetricsRegistry
+
+
+class Source:
+    def __init__(self, snap):
+        self._snap = snap
+
+    def snapshot(self):
+        return self._snap
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.register("pipeline[srvA]", Source({
+        "requests": 42, "errors": 1,
+        "latency": {"p99": 0.25}, "saturated": False,
+        "note": "strings are skipped", "history": [1, 2, 3],
+    }))
+    registry.register("traffic", Source({"wan_messages": 7}))
+    return registry
+
+
+class TestExport:
+    def test_families_and_labels(self):
+        text = to_prometheus(make_registry())
+        samples = parse_prometheus(text)
+        assert samples[("repro_pipeline_requests",
+                        (("instance", "srvA"),))] == 42.0
+        assert samples[("repro_pipeline_latency_p99",
+                        (("instance", "srvA"),))] == 0.25
+        # booleans become 0/1 gauges; strings and lists are skipped
+        assert samples[("repro_pipeline_saturated",
+                        (("instance", "srvA"),))] == 0.0
+        assert not any("note" in name or "history" in name
+                       for name, _labels in samples)
+        # unlabelled families work too
+        assert samples[("repro_traffic_wan_messages", ())] == 7.0
+
+    def test_type_lines_present_and_sorted(self):
+        text = to_prometheus(make_registry())
+        lines = text.splitlines()
+        type_lines = [l for l in lines if l.startswith("# TYPE")]
+        assert type_lines == sorted(type_lines)
+        assert all(l.endswith(" gauge") for l in type_lines)
+
+    def test_health_gauges_from_monitor(self):
+        class FakeAlerts:
+            def snapshot(self):
+                return {"fired": 2, "resolved": 1, "active": 1,
+                        "deduplicated": 0}
+
+        class FakeMonitor:
+            server = type("S", (), {"name": "srvA"})()
+            alerts = FakeAlerts()
+            counters = {"heartbeats": 10, "failovers": 3}
+
+            def fleet_view(self):
+                return {"server:srvA": "healthy", "server:srvB": "unhealthy"}
+
+        text = to_prometheus(make_registry(), monitor=FakeMonitor())
+        samples = parse_prometheus(text)
+        assert samples[("repro_health_status",
+                        (("component", "server:srvA"),
+                         ("server", "srvA")))] == 1.0
+        assert samples[("repro_health_status",
+                        (("component", "server:srvB"),
+                         ("server", "srvA")))] == 3.0
+        assert samples[("repro_alerts_fired", ())] == 2.0
+        assert samples[("repro_health_failovers", ())] == 3.0
+
+
+class TestParser:
+    def test_round_trip_is_lossless(self):
+        text = to_prometheus(make_registry())
+        assert parse_prometheus(text) == parse_prometheus(text)
+
+    def test_invalid_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not prometheus\n")
+
+    def test_invalid_label_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus('metric{bad-label="x"} 1\n')
+
+    def test_duplicate_sample_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("m 1\nm 2\n")
+
+    def test_comments_and_blank_lines_skipped(self):
+        samples = parse_prometheus("# HELP m help\n# TYPE m gauge\n\nm 4\n")
+        assert samples == {("m", ()): 4.0}
+
+
+class TestEndToEnd:
+    def test_live_deployment_exposition_parses(self):
+        from repro.core.deployment import build_single_server
+        collab = build_single_server(app_hosts=1, client_hosts=1)
+        collab.run_bootstrap()
+        collab.sim.run(until=collab.sim.now + 2.0)
+        server = collab.server_of(0)
+        text = to_prometheus(server.metrics_registry(),
+                             monitor=server.health)
+        samples = parse_prometheus(text)
+        key = ("repro_health_status",
+               (("component", f"server:{server.name}"),
+                ("server", server.name)))
+        assert samples[key] == 1.0  # healthy
+        collab.stop()

@@ -1,0 +1,214 @@
+"""Burn-rate engine unit tests with hand-computed windows."""
+
+import pytest
+
+from repro.health import (
+    Alert,
+    AlertLog,
+    SEVERITY_PAGE,
+    SEVERITY_TICKET,
+    SLOEngine,
+    SLOSpec,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class Source:
+    """Controllable cumulative (total, bad) counter pair."""
+
+    def __init__(self):
+        self.total = 0
+        self.bad = 0
+
+    def add(self, good: int, bad: int = 0):
+        self.total += good + bad
+        self.bad += bad
+
+    def __call__(self):
+        return self.total, self.bad
+
+
+def make_engine():
+    clock = Clock()
+    engine = SLOEngine(clock=clock)
+    source = Source()
+    # budget = 0.1; page when both 1s and 2s windows burn >= 5x (i.e.
+    # >= 50% bad); ticket when both 2s and 4s windows burn >= 2x (20% bad)
+    spec = SLOSpec("err", objective=0.9,
+                   fast=(1.0, 2.0, 5.0), slow=(2.0, 4.0, 2.0))
+    engine.add(spec, source)
+    return clock, engine, source
+
+
+class TestSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SLOSpec("x", kind="throughput")
+
+    def test_objective_bounds(self):
+        with pytest.raises(ValueError):
+            SLOSpec("x", objective=1.0)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SLOSpec("x", kind="latency")
+
+    def test_budget(self):
+        assert SLOSpec("x", objective=0.999).budget == pytest.approx(0.001)
+
+    def test_duplicate_registration(self):
+        clock, engine, _src = make_engine()
+        with pytest.raises(ValueError):
+            engine.add(SLOSpec("err"), lambda: (0, 0))
+
+
+class TestBurnRate:
+    def test_hand_computed_windows(self):
+        clock, engine, source = make_engine()
+        # t=0: 10 good requests
+        source.add(10)
+        engine.observe()
+        assert engine.burn_rate("err", 1.0) == 0.0
+
+        # t=1: 10 more, 5 of them bad -> window(1s) = 5/10 bad = 0.5
+        # fraction; burn = 0.5 / 0.1 budget = 5.0
+        clock.now = 1.0
+        source.add(5, bad=5)
+        engine.observe()
+        assert engine.burn_rate("err", 1.0) == pytest.approx(5.0)
+        # window(2s) spans both samples: 15/20 requests, 5 bad ->
+        # 0.25 fraction -> burn 2.5... edge is the t=0 sample, so the
+        # deltas are total=10, bad=5 -> 0.5 -> 5.0
+        assert engine.burn_rate("err", 2.0) == pytest.approx(5.0)
+
+        # t=2: 10 good requests -> window(1s) deltas from t=1 sample:
+        # total=10, bad=0 -> burn 0
+        clock.now = 2.0
+        source.add(10)
+        engine.observe()
+        assert engine.burn_rate("err", 1.0) == 0.0
+        # window(2s): edge = t=0 sample -> deltas total 20, bad 5 ->
+        # fraction 0.25 -> burn 2.5
+        assert engine.burn_rate("err", 2.0) == pytest.approx(2.5)
+
+    def test_empty_and_zero_total(self):
+        clock, engine, source = make_engine()
+        assert engine.burn_rate("err", 1.0) == 0.0
+        engine.observe()  # total 0
+        assert engine.burn_rate("err", 1.0) == 0.0
+
+
+class TestAlerting:
+    def test_page_fires_when_both_windows_burn(self):
+        clock, engine, source = make_engine()
+        source.add(10)
+        engine.observe()
+        clock.now = 1.0
+        source.add(0, bad=10)  # 100% bad over the last second
+        engine.observe()
+        active = engine.log.active()
+        assert [(a.slo, a.severity) for a in active] == [
+            ("err", SEVERITY_PAGE), ("err", SEVERITY_TICKET)]
+        page = active[0]
+        assert page.fired_at == 1.0
+        assert page.burn_short == pytest.approx(10.0)
+
+    def test_alert_dedup_and_resolve(self):
+        clock, engine, source = make_engine()
+        source.add(10)
+        engine.observe()
+        clock.now = 1.0
+        source.add(0, bad=10)
+        engine.observe()
+        clock.now = 1.5
+        source.add(0, bad=5)
+        engine.observe()  # still firing: dedup, no second Alert object
+        assert engine.log.fired == 2  # page + ticket, once each
+        assert engine.log.deduplicated >= 1
+        # now a long quiet stretch clears every window
+        for t in (3.0, 4.5, 6.0, 8.0):
+            clock.now = t
+            source.add(100)
+            engine.observe()
+        assert engine.log.active() == []
+        assert engine.log.resolved == 2
+        page = [a for a in engine.log.history()
+                if a.severity == SEVERITY_PAGE][0]
+        assert page.resolved_at is not None
+
+    def test_exemplars_attached_at_fire_time(self):
+        clock = Clock()
+        engine = SLOEngine(clock=clock, exemplar_fn=lambda start: [7, 9])
+        source = Source()
+        engine.add(SLOSpec("err", objective=0.9,
+                           fast=(1.0, 2.0, 5.0), slow=(2.0, 4.0, 2.0)),
+                   source)
+        source.add(10)
+        engine.observe()
+        clock.now = 1.0
+        source.add(0, bad=10)
+        engine.observe()
+        assert engine.log.active()[0].exemplars == [7, 9]
+
+    def test_latency_kind_counts_threshold_breaches(self):
+        clock = Clock()
+        engine = SLOEngine(clock=clock)
+        p99 = [0.1]
+        engine.add(SLOSpec("lat", kind="latency", objective=0.5,
+                           threshold=0.5,
+                           fast=(1.0, 2.0, 1.5), slow=(2.0, 4.0, 1.2)),
+                   lambda: p99[0])
+        engine.observe()
+        clock.now = 1.0
+        p99[0] = 2.0  # breach
+        engine.observe()
+        # window(1s): 1 obs, 1 bad -> fraction 1.0 / budget 0.5 = 2.0
+        assert engine.burn_rate("lat", 1.0) == pytest.approx(2.0)
+        assert engine.log.active()  # both pairs over their factors
+
+    def test_compliance_report(self):
+        clock, engine, source = make_engine()
+        source.add(8, bad=2)
+        engine.observe()
+        report = engine.compliance()["err"]
+        assert report["sli"] == pytest.approx(1.0)  # single sample: no delta
+        clock.now = 1.0
+        source.add(8, bad=2)
+        engine.observe()
+        report = engine.compliance()["err"]
+        assert report["sli"] == pytest.approx(0.8)
+        assert not report["compliant"]
+
+
+class TestAlertLog:
+    def test_trim_keeps_active(self):
+        log = AlertLog(max_events=2)
+        log.fire("a", SEVERITY_PAGE, 1.0, burn_short=1, burn_long=1,
+                 windows=(1, 2))
+        log.resolve("a", SEVERITY_PAGE, 2.0)
+        log.fire("b", SEVERITY_PAGE, 3.0, burn_short=1, burn_long=1,
+                 windows=(1, 2))
+        log.fire("c", SEVERITY_PAGE, 4.0, burn_short=1, burn_long=1,
+                 windows=(1, 2))
+        names = [a.slo for a in log.history()]
+        assert "a" not in names  # resolved alert trimmed first
+        assert set(names) == {"b", "c"}  # active ones never dropped
+
+    def test_resolve_unknown_is_noop(self):
+        log = AlertLog()
+        assert log.resolve("ghost", SEVERITY_PAGE, 1.0) is None
+
+    def test_to_record_roundtrips_json(self):
+        import json
+        alert = Alert("a", SEVERITY_PAGE, 1.0, burn_short=2.0,
+                      burn_long=1.5, windows=(1.0, 5.0), exemplars=[3])
+        record = json.loads(json.dumps(alert.to_record()))
+        assert record["slo"] == "a"
+        assert record["exemplars"] == [3]

@@ -1,0 +1,126 @@
+"""StructuredLog: stamping, trace correlation, sinks, bounded retention."""
+
+import json
+
+from repro.obs import StructuredLog
+
+
+class TestStamping:
+    def test_sim_time_and_server_stamped(self):
+        now = [3.25]
+        log = StructuredLog(clock=lambda: now[0], server="srvA")
+        record = log.event("daemon.frame_dropped", reason="not a Message")
+        assert record["ts"] == 3.25
+        assert record["server"] == "srvA"
+        assert record["event"] == "daemon.frame_dropped"
+        assert record["reason"] == "not a Message"
+        assert record["level"] == "info"
+
+    def test_levels_and_helpers(self):
+        log = StructuredLog()
+        assert log.warn("x")["level"] == "warning"
+        assert log.error("x")["level"] == "error"
+        assert log.event("x", level="nonsense")["level"] == "info"
+
+    def test_no_clock_defaults_to_zero(self):
+        assert StructuredLog().event("x")["ts"] == 0.0
+
+
+class TestTraceCorrelation:
+    def test_active_span_ids_attached(self):
+        class Span:
+            trace_id = 17
+            span_id = 99
+
+        class FakeTracer:
+            def current_span(self):
+                return Span()
+
+        log = StructuredLog(tracer=FakeTracer())
+        record = log.event("x")
+        assert record["trace_id"] == 17
+        assert record["span_id"] == 99
+
+    def test_no_active_span_means_no_ids(self):
+        class FakeTracer:
+            def current_span(self):
+                return None
+
+        record = StructuredLog(tracer=FakeTracer()).event("x")
+        assert "trace_id" not in record
+
+    def test_real_tracer_correlates(self):
+        from repro.obs import Tracer
+        from repro.sim import Simulator
+        sim = Simulator()
+        tracer = Tracer(sim)
+        log = StructuredLog(clock=lambda: sim.now, server="s",
+                            tracer=tracer)
+        with tracer.span("op", plane="http", server="s") as span:
+            record = log.event("inside")
+        assert record["trace_id"] == span.trace_id
+        assert record["span_id"] == span.span_id
+
+
+class TestSinkAndRetention:
+    def test_sink_receives_json_lines(self):
+        lines = []
+        log = StructuredLog(server="s", sink=lines.append)
+        log.event("a", n=1)
+        log.event("b", n=2)
+        parsed = [json.loads(line) for line in lines]
+        assert [r["event"] for r in parsed] == ["a", "b"]
+
+    def test_bounded_ring_counts_drops(self):
+        log = StructuredLog(capacity=3)
+        for i in range(5):
+            log.event("e", i=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [r["i"] for r in log.records()] == [2, 3, 4]
+        # counts survive the drop — they are lifetime totals
+        assert log.counts() == {"e": 5}
+
+    def test_records_filtering(self):
+        log = StructuredLog()
+        log.event("a")
+        log.warn("a")
+        log.warn("b")
+        assert len(log.records(event="a")) == 2
+        assert len(log.records(level="warning")) == 2
+        assert len(log.records(event="a", level="warning")) == 1
+
+    def test_export_jsonl_parses(self):
+        log = StructuredLog()
+        log.event("a", payload={"deep": [1, 2]})
+        log.event("b")
+        lines = log.export_jsonl().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == ["a", "b"]
+
+    def test_snapshot(self):
+        log = StructuredLog()
+        log.event("a")
+        snap = log.snapshot()
+        assert snap == {"records": 1, "dropped": 0, "events": {"a": 1}}
+
+
+class TestServerIntegration:
+    def test_server_log_replaces_silent_drops(self):
+        """A non-Message frame on the daemon port becomes a structured
+        warning (plus a channel-failure count) instead of silence."""
+        from repro.core.deployment import build_single_server
+        from repro.steering.application import DAEMON_PORT
+
+        collab = build_single_server(app_hosts=1, client_hosts=1)
+        collab.run_bootstrap()
+        server = collab.server_of(0)
+        host = collab.domains[0].app_hosts[0]
+        ep = host.bind(12345)
+        ep.send(server.host.name, DAEMON_PORT, {"not": "a message"})
+        collab.sim.run(until=collab.sim.now + 1.0)
+        drops = server.log.records(event="daemon.frame_dropped")
+        assert len(drops) == 1
+        assert drops[0]["server"] == server.name
+        assert drops[0]["level"] == "warning"
+        assert server.health.counters["channel_failures"] == 1
+        collab.stop()

@@ -23,6 +23,14 @@ Three checks, all AST-based:
    ``TraceContext`` / ``SpanNode`` outside the package couples callers
    to the span representation instead of the tracing API.
 
+4. **Health boundary** — status folding lives in :mod:`repro.health`;
+   callers consult the :class:`HealthMonitor` query API
+   (``status_of`` / ``is_unhealthy_peer`` / ``note_*``), never the
+   hysteresis machinery.  Importing a health *submodule*
+   (``repro.health.model`` etc. — the facade ``from repro.health import
+   HealthMonitor`` stays legal) or naming ``ComponentHealth`` /
+   ``HealthModel`` outside the package re-inlines the status taxonomy.
+
 Usage: python tools/check_pipeline_boundary.py [repo_root]
 """
 
@@ -56,6 +64,13 @@ OBS_ONLY_NAMES = frozenset({"Span", "TraceContext", "SpanNode"})
 
 #: the observability package, relative to the repo root
 OBS_PACKAGE = "src/repro/obs"
+
+#: hysteresis internals only repro.health may name — callers query the
+#: HealthMonitor (status_of / is_unhealthy_peer), never fold statuses
+HEALTH_ONLY_NAMES = frozenset({"ComponentHealth", "HealthModel"})
+
+#: the health package, relative to the repo root
+HEALTH_PACKAGE = "src/repro/health"
 
 
 def forbidden_imports(path: Path) -> list:
@@ -126,6 +141,34 @@ def obs_leaks(path: Path) -> list:
     return hits
 
 
+def health_leaks(path: Path) -> list:
+    """(lineno, what) pairs for health-internal use in ``path``.
+
+    Mirrors :func:`obs_leaks`: importing a health *submodule*
+    (``repro.health.model`` — the facade ``from repro.health import
+    HealthMonitor`` stays legal) or naming a hysteresis internal
+    (``ComponentHealth`` / ``HealthModel``) couples callers to the
+    status-folding machinery instead of the monitor's query API.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.health."):
+                    hits.append((node.lineno,
+                                 f"imports {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.startswith("repro.health."):
+                hits.append((node.lineno, f"imports from {module}"))
+        elif isinstance(node, (ast.Name, ast.Attribute)):
+            name = node.id if isinstance(node, ast.Name) else node.attr
+            if name in HEALTH_ONLY_NAMES:
+                hits.append((node.lineno, f"uses {name!r}"))
+    return hits
+
+
 def main(argv) -> int:
     root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
     failures = []
@@ -140,8 +183,10 @@ def main(argv) -> int:
                 f"must flow through repro.pipeline interceptors")
     fed_root = root / FEDERATION_PACKAGE
     obs_root = root / OBS_PACKAGE
+    health_root = root / HEALTH_PACKAGE
     checked = 0
     obs_checked = 0
+    health_checked = 0
     for path in sorted((root / "src" / "repro").rglob("*.py")):
         rel = path.relative_to(root)
         if not (fed_root in path.parents or path.parent == fed_root):
@@ -157,6 +202,12 @@ def main(argv) -> int:
                 failures.append(
                     f"{rel}:{lineno}: {what} — span internals stay in "
                     f"repro.obs; use the Tracer API via the facade")
+        if not (health_root in path.parents or path.parent == health_root):
+            health_checked += 1
+            for lineno, what in health_leaks(path):
+                failures.append(
+                    f"{rel}:{lineno}: {what} — status folding stays in "
+                    f"repro.health; use the HealthMonitor query API")
     if failures:
         print("pipeline boundary violations:", file=sys.stderr)
         for failure in failures:
@@ -164,7 +215,8 @@ def main(argv) -> int:
         return 1
     print(f"pipeline boundary OK ({len(DISPATCH_MODULES)} dispatch modules "
           f"clean); federation boundary OK ({checked} modules clean); "
-          f"obs boundary OK ({obs_checked} modules clean)")
+          f"obs boundary OK ({obs_checked} modules clean); "
+          f"health boundary OK ({health_checked} modules clean)")
     return 0
 
 

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""CI artifact exporter for the health plane (E10 fault injection).
+
+Runs the E10 kill-a-server scenario, scrapes the surviving server's
+``GET /status?format=prom`` endpoint through the real HTTP pipeline, and
+writes:
+
+- ``e10_status.prom``  — the Prometheus exposition at end of run
+- ``e10_alerts.jsonl`` — every alert fire/resolve record, one per line
+- ``e10_row.json``     — the scenario's measured row (detection latency,
+  failover and command counts)
+
+The exposition is round-tripped through :func:`repro.health.
+parse_prometheus` before writing — an exporter that emits text the
+parser rejects (or that loses samples) fails the build.
+
+Usage: PYTHONPATH=src python tools/export_health_artifacts.py [outdir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv) -> int:
+    outdir = Path(argv[1]) if len(argv) > 1 else Path("health-artifacts")
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    from repro.health import parse_prometheus
+    from repro.bench.scenarios import run_fault_injection, scrape_status
+
+    row, collab = run_fault_injection(duration=15.0, kill_at=5.0)
+    text = scrape_status(collab, params={"format": "prom"})
+
+    samples = parse_prometheus(text)
+    if not samples:
+        print("exposition parsed to zero samples", file=sys.stderr)
+        return 1
+    reparsed = parse_prometheus(text)
+    if reparsed != samples:
+        print("exposition parse is not deterministic", file=sys.stderr)
+        return 1
+    health_samples = {k: v for k, v in samples.items()
+                      if k[0] == "repro_health_status"}
+    if not health_samples:
+        print("no repro_health_status gauges in exposition",
+              file=sys.stderr)
+        return 1
+    if row["victim_status"] != "unhealthy":
+        print(f"victim ended {row['victim_status']!r}, expected unhealthy",
+              file=sys.stderr)
+        return 1
+    if row["detection_latency_s"] is None:
+        print("no unhealthy transition recorded for the victim",
+              file=sys.stderr)
+        return 1
+
+    (outdir / "e10_status.prom").write_text(text, encoding="utf-8")
+    alerts = scrape_status(collab, path="/status/alerts")
+    with open(outdir / "e10_alerts.jsonl", "w", encoding="utf-8") as fh:
+        for record in alerts["history"]:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    with open(outdir / "e10_row.json", "w", encoding="utf-8") as fh:
+        json.dump(row, fh, indent=1, sort_keys=True, default=str)
+        fh.write("\n")
+    print(f"health artifacts written to {outdir}/ "
+          f"({len(samples)} prom samples, "
+          f"{len(alerts['history'])} alert records, "
+          f"detection {row['detection_latency_s']:.2f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
