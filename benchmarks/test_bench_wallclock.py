@@ -3,8 +3,10 @@
 Unlike every other benchmark in this directory — which reproduces a *paper*
 measurement in virtual time — this one measures the real seconds the
 reproduction burns on the wire fast path, network delivery, broadcast
-fan-out, and two end-to-end scenarios.  It writes ``BENCH_1.json`` at the
-repository root so successive PRs leave a perf trajectory.
+fan-out, and the end-to-end scenarios.  It writes ``BENCH_2.json`` at the
+repository root so successive PRs leave a perf trajectory, and gates it
+against the committed ``BENCH_1.json`` baseline: any shared benchmark more
+than 25% slower fails the suite.
 
 Run with::
 
@@ -21,8 +23,12 @@ from benchmarks.conftest import run_once
 
 from repro.bench.wallclock import format_report, run_suite, write_report
 
-#: where the committed perf trajectory lives
-BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_1.json"
+#: committed baseline (PR 1) and where this PR's trajectory point lands
+BASELINE_JSON = Path(__file__).resolve().parents[1] / "BENCH_1.json"
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_2.json"
+
+#: shared benchmarks may not be more than 25% slower than the baseline
+REGRESSION_THRESHOLD = 1.25
 
 
 def test_wallclock_suite(benchmark):
@@ -35,7 +41,31 @@ def test_wallclock_suite(benchmark):
     assert "wire/encoded_size_update_64x64" in names
     assert "collab/broadcast_poll_30_subscribers" in names
     assert "e2e/E1_health_on_n10" in names
+    assert "e2e/E1_n1000" in names
     assert all(entry["per_op_us"] > 0 for entry in report["benchmarks"])
+
+
+def test_no_regression_vs_baseline():
+    """The freshly-written BENCH_2.json must hold the BENCH_1.json line.
+
+    Uses the same gate CI runs (``tools/check_bench_regression.py``): every
+    benchmark present in both reports must be within the 25% threshold.
+    Entries only in one report (new arms like ``e2e/E1_n1000``) are exempt.
+    """
+    import sys
+
+    sys.path.insert(0, str(BASELINE_JSON.parent / "tools"))
+    try:
+        from check_bench_regression import main as gate
+    finally:
+        sys.path.pop(0)
+    if not BENCH_JSON.exists():  # bench suite not run in this session
+        import pytest
+        pytest.skip("BENCH_2.json not generated (run test_wallclock_suite)")
+    rc = gate(["--baseline", str(BASELINE_JSON),
+               "--candidate", str(BENCH_JSON),
+               "--threshold", str(REGRESSION_THRESHOLD)])
+    assert rc == 0, "wall-clock regression vs BENCH_1.json (see output)"
 
 
 def test_health_plane_overhead_under_5_percent(benchmark):

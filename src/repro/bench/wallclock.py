@@ -190,6 +190,20 @@ def bench_broadcast(quick: bool = False, n_subscribers: int = 30) -> List[Dict]:
 # macro: end-to-end scenarios (virtual experiments, wall seconds)
 # ---------------------------------------------------------------------------
 
+def _best_of(fn: Callable[[], Dict], rounds: int) -> (float, Dict):
+    """Fastest wall time over ``rounds`` runs of a scenario (the minimum is
+    the least noisy estimator — single-shot e2e numbers on a shared box
+    carry scheduler jitter larger than real hot-path changes)."""
+    best, row = float("inf"), None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        row = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best, row
+
+
 def bench_end_to_end(quick: bool = False) -> List[Dict]:
     from repro.bench.scenarios import (
         run_app_scalability,
@@ -197,19 +211,27 @@ def bench_end_to_end(quick: bool = False) -> List[Dict]:
     )
 
     duration = 3.0 if quick else 15.0
+    rounds = 1 if quick else 3
     results = []
-    t0 = time.perf_counter()
-    row = run_app_scalability(10, duration=duration)
-    results.append(_entry("e2e/E1_app_scalability_n10",
-                          time.perf_counter() - t0,
+    best, row = _best_of(lambda: run_app_scalability(10, duration=duration),
+                         rounds)
+    results.append(_entry("e2e/E1_app_scalability_n10", best,
                           note=f"virtual duration {duration}s, "
                                f"{row['updates_processed']} updates"))
-    t0 = time.perf_counter()
-    row = run_client_scalability(10, duration=duration)
-    results.append(_entry("e2e/E2_client_scalability_n10",
-                          time.perf_counter() - t0,
+    best, row = _best_of(
+        lambda: run_client_scalability(10, duration=duration), rounds)
+    results.append(_entry("e2e/E2_client_scalability_n10", best,
                           note=f"virtual duration {duration}s, "
                                f"{row['polls']} polls"))
+    if not quick:
+        # Fleet-scale arm: 1000 registered applications against one server.
+        # Infeasible before the batched simulator core (PR 6); kept at a
+        # short virtual duration so the whole suite stays CI-sized.
+        best, row = _best_of(lambda: run_app_scalability(1000, duration=5.0),
+                             rounds)
+        results.append(_entry("e2e/E1_n1000", best,
+                              note=f"virtual duration 5.0s, "
+                                   f"{row['updates_processed']} updates"))
     return results
 
 
@@ -224,13 +246,14 @@ def bench_health_overhead(quick: bool = False) -> List[Dict]:
     from repro.bench.scenarios import run_app_scalability
 
     duration = 3.0 if quick else 15.0
+    rounds = 1 if quick else 3
     results = []
     for enabled in (True, False):
-        t0 = time.perf_counter()
-        run_app_scalability(10, duration=duration, health_enabled=enabled)
+        best, _row = _best_of(
+            lambda: run_app_scalability(10, duration=duration,
+                                        health_enabled=enabled), rounds)
         label = "on" if enabled else "off"
-        results.append(_entry(f"e2e/E1_health_{label}_n10",
-                              time.perf_counter() - t0,
+        results.append(_entry(f"e2e/E1_health_{label}_n10", best,
                               note=f"virtual duration {duration}s, "
                                    f"health plane {label}"))
     return results
@@ -320,6 +343,27 @@ def export_log(path: str) -> Dict:
     }
 
 
+def export_profile(path: str) -> Dict:
+    """cProfile the fleet-scale ``e2e/E1_n1000`` scenario to ``path``.
+
+    The dump is a standard ``pstats`` file (load with
+    ``pstats.Stats(path)`` or ``snakeviz``); CI uploads it from the bench
+    job so hot-path regressions come with their profile attached.  Run as
+    a side artifact only — profiling roughly triples the scenario's wall
+    time, so it must never contaminate the BENCH_*.json numbers.
+    """
+    import cProfile
+
+    from repro.bench.scenarios import run_app_scalability
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    row = run_app_scalability(1000, duration=5.0)
+    profiler.disable()
+    profiler.dump_stats(path)
+    return {"path": path, "updates": row["updates_processed"]}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the wall-clock performance suite.")
@@ -327,6 +371,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the JSON report to this path")
     parser.add_argument("--quick", action="store_true",
                         help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--profile-output", default=None,
+                        help="also dump a cProfile (pstats) artifact of "
+                             "the e2e/E1_n1000 scenario")
     parser.add_argument("--trace-output", default=None,
                         help="also export a JSONL span trace of the "
                              "cross-server steering scenario")
@@ -339,6 +386,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.output:
         write_report(args.output, report)
         print(f"report written to {args.output}")
+    if args.profile_output:
+        info = export_profile(args.profile_output)
+        print(f"profile written to {info['path']} "
+              f"({info['updates']} updates processed)")
     if args.trace_output:
         info = export_trace(args.trace_output)
         print(f"trace written to {info['path']} "

@@ -1,15 +1,23 @@
 """Hosts and endpoints.
 
-A :class:`Host` is a named machine with a CPU (:class:`~repro.sim.Resource`)
-and a set of ports.  Binding a port yields an :class:`Endpoint` — the
-socket-like object all higher layers (channels, ORB, HTTP) are built on.
+A :class:`Host` is a named machine with a CPU and a set of ports.  Binding a
+port yields an :class:`Endpoint` — the socket-like object all higher layers
+(channels, ORB, HTTP) are built on.
+
+The CPU is a fused counted FIFO rather than a :class:`~repro.sim.Resource`:
+an uncontended ``use_cpu`` yields exactly one timeout (the service time)
+instead of a request-grant round trip followed by a timeout, halving the
+process resumptions on the single hottest service point in every scenario.
+Queueing behaviour — FIFO grants, ``cpu_capacity`` concurrent slots — is
+unchanged.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Dict, Optional
 
-from repro.sim import Resource, Store
+from repro.sim import SimEvent, Store
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Frame, Network
@@ -29,7 +37,10 @@ class Host:
         self.sim = sim
         self.name = name
         self.domain = domain
-        self.cpu = Resource(sim, capacity=cpu_capacity)
+        self.cpu_capacity = cpu_capacity
+        self._cpu_free = cpu_capacity
+        #: FIFO of grant events for jobs waiting on a busy CPU
+        self._cpu_waiters: Deque[SimEvent] = deque()
         self.ports: Dict[int, Store] = {}
         self.network: Optional["Network"] = None
         #: cumulative busy-time accounting, for utilisation reports
@@ -54,14 +65,35 @@ class Host:
         behaviour: when offered load exceeds CPU capacity, waiting time —
         and thus client-visible latency — grows without bound.
         """
-        req = self.cpu.request()
-        yield req
+        if self._cpu_free > 0:
+            self._cpu_free -= 1
+        else:
+            gate = SimEvent(self.sim)
+            self._cpu_waiters.append(gate)
+            try:
+                yield gate
+            except BaseException:
+                if not gate.triggered:
+                    # Interrupted while still queued: withdraw the claim.
+                    self._cpu_waiters.remove(gate)
+                else:
+                    # Interrupted at the grant instant: the slot was already
+                    # handed to us, pass it on.
+                    self._cpu_release()
+                raise
         try:
             if duration > 0:
                 yield self.sim.timeout(duration)
             self.busy_time += duration
         finally:
-            self.cpu.release(req)
+            self._cpu_release()
+
+    def _cpu_release(self) -> None:
+        # Hand the slot straight to the next waiter (FIFO) or free it.
+        if self._cpu_waiters:
+            self._cpu_waiters.popleft().succeed()
+        else:
+            self._cpu_free += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Host {self.name} domain={self.domain}>"

@@ -3,16 +3,29 @@
 Transmission time (``size / bandwidth``) serializes on the link — frames
 queue behind one another per direction — while propagation latency is
 pipelined, the standard store-and-forward model.
+
+The transmitter is a fused FIFO queue per direction rather than a
+:class:`~repro.sim.Resource`: starting a transmission on a free transmitter
+schedules exactly one pooled kernel callback at transmission-complete time
+(zero events when the transfer time is zero), instead of the
+request/grant/timeout/release event chain a counted resource needs.  The
+queueing behaviour — FIFO per direction, zero-cost transfers never
+serialize — is identical.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Tuple
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, Optional, Tuple
 
-from repro.sim import Resource
+from repro.sim import SimEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Simulator
+
+
+def _succeed_event(ev: SimEvent) -> None:
+    ev.succeed()
 
 
 class Link:
@@ -43,8 +56,15 @@ class Link:
         self.latency = latency
         self.bandwidth = bandwidth
         self.kind = kind
-        # One transmit queue per direction.
-        self._tx = {a: Resource(sim, capacity=1), b: Resource(sim, capacity=1)}
+        #: precomputed so the hot path never rebuilds float("inf"); the
+        #: division itself must stay ``size / bandwidth`` bit-for-bit
+        self._infinite_bw = bandwidth == float("inf")
+        # One transmitter per direction: the in-flight completion callback
+        # plus a FIFO of waiting transmissions.
+        self._inflight: Dict[str, Optional[Tuple[Callable, Any]]] = {
+            a: None, b: None}
+        self._queue: Dict[str, Deque[Tuple[int, Callable, Any]]] = {
+            a: deque(), b: deque()}
 
     @property
     def ends(self) -> Tuple[str, str]:
@@ -60,23 +80,56 @@ class Link:
 
     def transfer_time(self, size: int) -> float:
         """Pure transmission time for ``size`` bytes (no queueing)."""
-        if self.bandwidth == float("inf"):
+        if self._infinite_bw:
             return 0.0
         return size / self.bandwidth
+
+    def start_tx(self, src: str, size: int,
+                 done: Callable[[Any], None], arg: Any) -> None:
+        """Occupy the ``src``-side transmitter for ``size`` bytes.
+
+        ``done(arg)`` runs at transmission-complete time — propagation
+        latency is the caller's business.  Transmissions are strictly FIFO
+        per direction; a zero-cost transfer on a free transmitter completes
+        synchronously (no event at all).
+        """
+        inflight = self._inflight[src]  # KeyError doubles as validation
+        if inflight is not None or self._queue[src]:
+            self._queue[src].append((size, done, arg))
+            return
+        if self._infinite_bw:
+            done(arg)
+            return
+        t = size / self.bandwidth
+        if t > 0.0:
+            self._inflight[src] = (done, arg)
+            self.sim.schedule_fn(t, self._tx_done, src)
+        else:
+            done(arg)
+
+    def _tx_done(self, src: str) -> None:
+        done, arg = self._inflight[src]
+        self._inflight[src] = None
+        done(arg)
+        queue = self._queue[src]
+        while queue:
+            size, done, arg = queue.popleft()
+            t = self.transfer_time(size)
+            if t > 0.0:
+                self._inflight[src] = (done, arg)
+                self.sim.schedule_fn(t, self._tx_done, src)
+                break
+            done(arg)
 
     def transmit(self, src: str, size: int):
         """Process: occupy the ``src``-side transmitter for the transfer,
         then wait the propagation latency.  Yields; returns at delivery time.
         """
-        tx = self._tx[src]  # KeyError doubles as endpoint validation
-        req = tx.request()
-        yield req
-        try:
-            t = self.transfer_time(size)
-            if t > 0:
-                yield self.sim.timeout(t)
-        finally:
-            tx.release(req)
+        if src != self.a and src != self.b:
+            raise KeyError(src)
+        ev = SimEvent(self.sim)
+        self.start_tx(src, size, _succeed_event, ev)
+        yield ev
         if self.latency > 0:
             yield self.sim.timeout(self.latency)
 

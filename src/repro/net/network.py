@@ -1,10 +1,25 @@
 """The network: topology, routing, and frame delivery.
 
 ``Network.send`` computes the (latency-weighted) shortest path once, then
-spawns a delivery process that walks the path hop by hop: each hop occupies
-the link transmitter for ``size/bandwidth``, then waits the propagation
-latency, and is counted by the traffic trace.  Frames finally land in the
-destination endpoint's inbox.
+walks it with a :class:`_Delivery` state machine: each hop occupies the
+link transmitter for ``size/bandwidth`` (one pooled kernel callback), then
+waits the propagation latency (one more), and is counted by the traffic
+trace.  Frames finally land in the destination endpoint's inbox.  Compared
+to the generator-process-per-frame design this replaces, a single-hop
+delivery schedules two pooled events instead of spawning a process (boot
+event, resource grant, two timeouts, process-completion event) — and no
+per-frame process name is ever built.
+
+Loopback delivery is fused further: same-host frames are appended to a
+per-instant batch and handed off by one two-stage sweep, so a fan-out of N
+local sends schedules one callback chain, not N delivery processes.
+
+Payloads cross the simulated wire **by reference** — ``encode()`` is never
+called on the send path; byte accounting comes from the allocation-free
+size visitor (``freeze_size``), and ndarray payloads are therefore
+zero-copy end to end.  ``strict_wire=True`` opts back into round-tripping
+every payload through ``encode``/``decode`` at hand-off, for codec-parity
+tests.
 """
 
 from __future__ import annotations
@@ -19,7 +34,7 @@ import networkx as nx
 from repro.net.host import Host
 from repro.net.link import Link
 from repro.net.trace import TrafficTrace
-from repro.wire import freeze_size
+from repro.wire import decode, encode, freeze_size
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Simulator
@@ -60,11 +75,65 @@ class Frame:
         return self.delivered_at - self.sent_at
 
 
+class _Delivery:
+    """Per-frame hop walker: the fused replacement for the old
+    generator-process delivery.
+
+    Each hop is two pooled callbacks at most (transmission complete,
+    propagation latency); zero-cost segments collapse into synchronous
+    calls.  The instance is the only per-frame allocation.
+    """
+
+    __slots__ = ("net", "frame", "path", "idx", "wan", "link")
+
+    def __init__(self, net: "Network", frame: Frame, path: List[str]) -> None:
+        self.net = net
+        self.frame = frame
+        self.path = path
+        self.idx = 0
+        self.wan = False
+        self.link: Optional[Link] = None
+        self._start_hop()
+
+    def _start_hop(self) -> None:
+        path, idx = self.path, self.idx
+        link = self.net.link_between(path[idx], path[idx + 1])
+        self.link = link
+        link.start_tx(path[idx], self.frame.size, _Delivery._tx_done, self)
+
+    def _tx_done(self) -> None:
+        latency = self.link.latency
+        if latency > 0.0:
+            self.net.sim.schedule_fn(latency, _Delivery._arrive, self)
+        else:
+            self._arrive()
+
+    def _arrive(self) -> None:
+        net, frame, link = self.net, self.frame, self.link
+        net.trace.record(link, frame)
+        if link.kind == "wan":
+            self.wan = True
+        self.idx += 1
+        if self.idx + 1 < len(self.path):
+            self._start_hop()
+            return
+        if net.tracer is not None and frame.trace_ctx is not None:
+            # Post-hoc bookkeeping: the transit already happened, the span
+            # just records it (zero-event — no scheduling, no wire bytes).
+            net.tracer.record_span(
+                "net.hop", frame.sent_at, net.sim.now, plane="net",
+                server=f"{frame.src_host}->{frame.dst_host}",
+                parent=frame.trace_ctx,
+                attrs={"wan": self.wan, "channel": frame.channel,
+                       "bytes": frame.size})
+        net._hand_off(frame)
+
+
 class Network:
     """A set of hosts joined by links, with static shortest-path routing."""
 
     def __init__(self, sim: "Simulator", trace: Optional[TrafficTrace] = None,
-                 frame_overhead: int = 64) -> None:
+                 frame_overhead: int = 64, strict_wire: bool = False) -> None:
         self.sim = sim
         self.trace = trace if trace is not None else TrafficTrace()
         #: optional repro.obs.Tracer — stamps outgoing frames with the
@@ -72,10 +141,17 @@ class Network:
         self.tracer = None
         #: per-frame framing overhead in bytes (headers: TCP/IP + protocol)
         self.frame_overhead = frame_overhead
+        #: round-trip every payload through encode/decode at hand-off.
+        #: Off by default: payloads travel by reference (zero-copy) with
+        #: their frozen size; strict mode exists for codec-parity tests.
+        self.strict_wire = strict_wire
         self.hosts: Dict[str, Host] = {}
         self.links: Dict[Tuple[str, str], Link] = {}
         self.graph = nx.Graph()
         self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+        #: loopback frames awaiting this instant's hand-off sweep
+        self._loopback_batch: List[Frame] = []
+        self._loopback_scheduled = False
         #: the most recent frames that arrived at unbound ports (bounded —
         #: undeliverable traffic must not grow memory without limit)
         self.dropped: Deque[Frame] = deque(maxlen=DROPPED_HISTORY)
@@ -112,7 +188,7 @@ class Network:
     def link_between(self, a: str, b: str) -> Link:
         """The direct link joining ``a`` and ``b``."""
         try:
-            return self.links[tuple(sorted((a, b)))]
+            return self.links[(a, b) if a < b else (b, a)]
         except KeyError:
             raise NetworkError(f"no link {a}<->{b}") from None
 
@@ -151,35 +227,28 @@ class Network:
                       channel=channel, sent_at=self.sim.now,
                       trace_ctx=trace_ctx)
         if src_host == dst_host:
-            # Loopback: no links, no transmission, immediate local delivery.
-            self.sim.spawn(self._deliver_local(frame), name="loopback")
+            # Loopback: no links, no transmission — joined to this
+            # instant's batched same-tick hand-off sweep.
+            self._loopback_batch.append(frame)
+            if not self._loopback_scheduled:
+                self._loopback_scheduled = True
+                self.sim.schedule_fn(0.0, Network._loopback_boot, self,
+                                     priority=0)
         else:
-            path = self.route(src_host, dst_host)
-            self.sim.spawn(self._deliver(frame, path),
-                           name=f"deliver-{frame.frame_id}")
+            _Delivery(self, frame, self.route(src_host, dst_host))
         return frame
 
-    def _deliver_local(self, frame: Frame):
-        yield self.sim.timeout(0.0)
-        self._hand_off(frame)
+    def _loopback_boot(self) -> None:
+        # Two-stage chain mirroring the old per-frame boot (urgent) +
+        # zero-timeout (normal) ordering, once per instant for the batch.
+        self.sim.schedule_fn(0.0, Network._loopback_sweep, self)
 
-    def _deliver(self, frame: Frame, path: List[str]):
-        wan = False
-        for a, b in zip(path, path[1:]):
-            link = self.link_between(a, b)
-            yield from link.transmit(a, frame.size)
-            self.trace.record(link, frame)
-            wan = wan or link.kind == "wan"
-        if self.tracer is not None and frame.trace_ctx is not None:
-            # Post-hoc bookkeeping: the transit already happened, the span
-            # just records it (zero-event — no scheduling, no wire bytes).
-            self.tracer.record_span(
-                "net.hop", frame.sent_at, self.sim.now, plane="net",
-                server=f"{frame.src_host}->{frame.dst_host}",
-                parent=frame.trace_ctx,
-                attrs={"wan": wan, "channel": frame.channel,
-                       "bytes": frame.size})
-        self._hand_off(frame)
+    def _loopback_sweep(self) -> None:
+        batch, self._loopback_batch = self._loopback_batch, []
+        self._loopback_scheduled = False
+        hand_off = self._hand_off
+        for frame in batch:
+            hand_off(frame)
 
     def _hand_off(self, frame: Frame) -> None:
         host = self.hosts[frame.dst_host]
@@ -193,4 +262,8 @@ class Network:
             self.dropped_count += 1
             self.trace.record_dropped(frame)
             return
+        if self.strict_wire:
+            # Parity mode: materialize the bytes the reference codec would
+            # put on the wire and hand the decoded copy to the receiver.
+            frame.payload = decode(encode(frame.payload))
         inbox.put(frame)

@@ -8,6 +8,7 @@ the process's resume callback to the event.
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 from repro.sim.errors import SimulationError
@@ -67,7 +68,9 @@ class SimEvent:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._push_event(self)
+        # Inlined self.sim._push_event(self): succeed() is the single most
+        # frequent scheduling operation — always current-instant, NORMAL.
+        self.sim._bucket_normal.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "SimEvent":
@@ -84,7 +87,7 @@ class SimEvent:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.sim._push_event(self)
+        self.sim._bucket_normal.append(self)
         return self
 
     def defuse(self) -> None:
@@ -109,11 +112,20 @@ class Timeout(SimEvent):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(sim)
+        # SimEvent.__init__ and sim._push_event inlined: timeouts are created
+        # for every service time and compute step, so the two extra calls and
+        # the default-argument dance show up in every scenario profile.
+        self.sim = sim
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._push_event(self, delay=delay)
+        if delay == 0.0:
+            sim._bucket_normal.append(self)
+        else:
+            sim._seq += 1
+            heapq.heappush(sim._heap, (sim._now + delay, 1, sim._seq, self))
 
 
 class _Condition(SimEvent):

@@ -1,14 +1,36 @@
-"""The simulator: a clock and an event heap.
+"""The simulator: a clock and a bucketed (calendar-style) schedule.
 
-The heap holds *(time, priority, seq, event)* tuples.  ``seq`` is a
-monotonically increasing counter so simultaneous events are processed in
-insertion order — this is what makes the whole reproduction deterministic.
+The schedule has two tiers:
+
+- **Current-instant buckets** — two plain deques (one per priority class,
+  ``URGENT`` and ``NORMAL``) holding events scheduled for *exactly* ``now``.
+  The dominant case in every scenario is an event triggered at the current
+  instant (``succeed()``, process boots, zero timeouts, fused network
+  callbacks); those dispatch O(1) with no tuple allocation and no heap
+  traffic.
+- **Overflow heap** — a classic ``heapq`` of *(time, priority, seq, event)*
+  tuples for everything in the future.  When the buckets drain, the kernel
+  advances the clock to the heap's earliest time and moves *every* entry at
+  that instant into the buckets in (priority, seq) order, so cross-tier
+  ordering is exactly the ordering a single global heap would produce.
+
+``seq`` is a monotonically increasing counter so simultaneous far-future
+events are processed in insertion order; bucket order is insertion order by
+construction.  This is what makes the whole reproduction deterministic — a
+property-based differential test (``tests/sim/test_calendar_queue.py``) pins
+the dispatch order against a reference single-heap schedule.
+
+The kernel also keeps a free list of :class:`_PooledCallback` events for
+internal fire-and-forget callbacks (network delivery chains, timers), so the
+hot path schedules without allocating an event, a callbacks list, or a heap
+tuple per occurrence.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.events import SimEvent, Timeout
@@ -36,6 +58,34 @@ class _ScheduledCall:
         self.fn()
 
 
+class _PooledCallback(SimEvent):
+    """A recyclable internal event that runs one stored function.
+
+    The event is its own (only) callback: when the kernel processes it, the
+    stored function runs and the instance immediately returns itself to the
+    simulator's free list.  Only kernel-internal machinery may use these —
+    they are never handed to user code, never waited on, and never fail —
+    which is what makes recycling safe.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, sim: "Simulator") -> None:
+        super().__init__(sim)
+        self.callbacks = [self]
+        self._value = None
+        self.fn: Optional[Callable[[Any], None]] = None
+        self.arg: Any = None
+
+    def __call__(self, _event: SimEvent) -> None:
+        fn, arg = self.fn, self.arg
+        self.fn = self.arg = None
+        self.callbacks = [self]
+        self._value = None
+        self.sim._cb_pool.append(self)
+        fn(arg)
+
+
 class Simulator:
     """Discrete-event simulator with virtual time.
 
@@ -55,8 +105,14 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
+        #: far-future overflow: (time, priority, seq, event) tuples
         self._heap: List[Tuple[float, int, int, SimEvent]] = []
         self._seq = 0
+        #: current-instant buckets, one per priority class
+        self._bucket_urgent: Deque[SimEvent] = deque()
+        self._bucket_normal: Deque[SimEvent] = deque()
+        #: free list of recycled internal callback events
+        self._cb_pool: List[_PooledCallback] = []
         self._active_process: Optional[Process] = None
 
     # -- clock ------------------------------------------------------------
@@ -104,28 +160,78 @@ class Simulator:
     # -- scheduling (kernel internal) ----------------------------------------
     def _push_event(self, event: SimEvent, delay: float = 0.0,
                     priority: int = NORMAL) -> None:
-        """Put a triggered event on the heap for processing."""
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        """Put a triggered event on the schedule for processing."""
+        if delay == 0.0:
+            # Current instant: O(1) bucket append, no tuple, no heap.
+            if priority == NORMAL:
+                self._bucket_normal.append(event)
+            else:
+                self._bucket_urgent.append(event)
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap,
+                           (self._now + delay, priority, self._seq, event))
+
+    def schedule_fn(self, delay: float, fn: Callable[[Any], None],
+                    arg: Any = None, priority: int = NORMAL) -> None:
+        """Run ``fn(arg)`` after ``delay`` using a pooled internal event.
+
+        The event is recycled the moment it is processed, so this is the
+        allocation-free way for infrastructure (network delivery, timers
+        that nobody waits on) to schedule work.  The event is not returned
+        — it must never be waited on or cancelled.
+        """
+        pool = self._cb_pool
+        ev = pool.pop() if pool else _PooledCallback(self)
+        ev.fn = fn
+        ev.arg = arg
+        self._push_event(ev, delay=delay, priority=priority)
 
     # -- running -------------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._bucket_urgent or self._bucket_normal:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
 
-    def step(self) -> None:
-        """Process exactly one event."""
-        if not self._heap:
-            raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+    def _advance(self) -> bool:
+        """Move the clock to the heap's earliest instant and bucket every
+        event scheduled there.  Returns False if the schedule is empty."""
+        heap = self._heap
+        if not heap:
+            return False
+        when = heap[0][0]
         self._now = when
+        pop = heapq.heappop
+        urgent, normal = self._bucket_urgent, self._bucket_normal
+        while heap and heap[0][0] == when:
+            item = pop(heap)
+            if item[1] == NORMAL:
+                normal.append(item[3])
+            else:
+                urgent.append(item[3])
+        return True
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Shares the run() dispatch path exactly: same bucket selection, same
+        fast ``_ok`` / ``_defused`` attribute reads — a failed, defused
+        event behaves identically under ``step()`` and ``run()``.
+        """
+        if not (self._bucket_urgent or self._bucket_normal):
+            if not self._advance():
+                raise SimulationError("step() on an empty schedule")
+        if self._bucket_urgent:
+            event = self._bucket_urgent.popleft()
+        else:
+            event = self._bucket_normal.popleft()
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
             cb(event)
-        if not event.ok and not event.defused:
+        if not event._ok and not event._defused:
             # A failed event nobody waited on: surface the error.
-            exc = event.value
-            raise exc
+            raise event._value
 
     def run(self, until: Any = None) -> Any:
         """Run until the schedule is empty, a time, or an event.
@@ -152,14 +258,32 @@ class Simulator:
             stop_event = marker
             marker.callbacks.append(self._stop_on_event)
 
-        # Inlined step() with locals bound outside the loop — this is the
+        # Inlined dispatch with locals bound outside the loop — this is the
         # hottest loop in the repository (every event of every scenario).
         heap = self._heap
+        urgent = self._bucket_urgent
+        normal = self._bucket_normal
         pop = heapq.heappop
         try:
-            while heap:
-                when, _prio, _seq, event = pop(heap)
-                self._now = when
+            while True:
+                if urgent:
+                    event = urgent.popleft()
+                elif normal:
+                    event = normal.popleft()
+                elif heap:
+                    # Advance: bucket every event at the next instant so
+                    # cross-tier ordering matches a single global heap.
+                    when = heap[0][0]
+                    self._now = when
+                    while heap and heap[0][0] == when:
+                        item = pop(heap)
+                        if item[1] == NORMAL:
+                            normal.append(item[3])
+                        else:
+                            urgent.append(item[3])
+                    continue
+                else:
+                    break
                 callbacks, event.callbacks = event.callbacks, None
                 for cb in callbacks:
                     cb(event)
@@ -175,9 +299,9 @@ class Simulator:
 
     @staticmethod
     def _stop_on_event(event: SimEvent) -> None:
-        if not event.ok:
+        if not event._ok:
             # Surface the failure (e.g. an exception escaping the process
             # run() was waiting on) instead of silently returning None.
             event.defuse()
-            raise event.value
-        raise StopSimulation(event.value)
+            raise event._value
+        raise StopSimulation(event._value)

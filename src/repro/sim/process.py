@@ -48,7 +48,7 @@ class Process(SimEvent):
         boot.callbacks.append(self._resume)
         boot._ok = True
         boot._value = None
-        sim._push_event(boot, priority=0)
+        sim._bucket_urgent.append(boot)
 
     # -- public ------------------------------------------------------------
     @property

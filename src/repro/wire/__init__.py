@@ -39,6 +39,7 @@ from repro.wire.serialize import (
     encoded_size,
     freeze_size,
     register_codec,
+    set_encode_hook,
     set_object_walk_hook,
 )
 
@@ -61,5 +62,6 @@ __all__ = [
     "freeze_size",
     "message_type_name",
     "register_codec",
+    "set_encode_hook",
     "set_object_walk_hook",
 ]

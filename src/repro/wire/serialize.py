@@ -99,8 +99,24 @@ def _pack_len(n: int) -> bytes:
     return struct.pack(">I", n)
 
 
+#: test instrumentation: when set, called with each value passed to
+#: ``encode`` — the zero-copy loopback contract ("``encode()`` is never
+#: called on the send path") is pinned by a test installing a hook here
+_encode_hook: Optional[Callable[[Any], None]] = None
+
+
+def set_encode_hook(
+        hook: Optional[Callable[[Any], None]]) -> Optional[Callable]:
+    """Install (or clear) the encode-call hook; returns the previous one."""
+    global _encode_hook
+    previous, _encode_hook = _encode_hook, hook
+    return previous
+
+
 def encode(value: Any) -> bytes:
     """Encode ``value`` to bytes."""
+    if _encode_hook is not None:
+        _encode_hook(value)
     out: list[bytes] = []
     _encode_into(value, out)
     return b"".join(out)
@@ -315,10 +331,24 @@ def _size_str(value: str) -> int:
 
 
 def _size_seq(value) -> int:
+    # Scalar cases are unrolled inline: sequence/dict elements are
+    # overwhelmingly str/float/int, and the extra dispatch call per element
+    # is the dominant cost of the walk.
     size_of = _size_of
     total = 5
-    for item in value:
-        total += size_of(item)
+    for v in value:
+        tv = type(v)
+        if tv is str:
+            total += 5 + (len(v) if v.isascii() else len(v.encode("utf-8")))
+        elif tv is float:
+            total += 9
+        elif tv is int:
+            total += (9 if -(2 ** 63) <= v < 2 ** 63
+                      else 5 + (v.bit_length() + 8) // 8 + 1)
+        elif tv is bool or v is None:
+            total += 1
+        else:
+            total += size_of(v)
     return total
 
 
@@ -326,7 +356,22 @@ def _size_dict(value: dict) -> int:
     size_of = _size_of
     total = 5
     for k, v in value.items():
-        total += size_of(k) + size_of(v)
+        if type(k) is str:
+            total += 5 + (len(k) if k.isascii() else len(k.encode("utf-8")))
+        else:
+            total += size_of(k)
+        tv = type(v)
+        if tv is str:
+            total += 5 + (len(v) if v.isascii() else len(v.encode("utf-8")))
+        elif tv is float:
+            total += 9
+        elif tv is int:
+            total += (9 if -(2 ** 63) <= v < 2 ** 63
+                      else 5 + (v.bit_length() + 8) // 8 + 1)
+        elif tv is bool or v is None:
+            total += 1
+        else:
+            total += size_of(v)
     return total
 
 

@@ -1,0 +1,102 @@
+"""Differential test: the bucketed (calendar) schedule vs a single heap.
+
+The kernel replaces one global ``heapq`` with current-instant buckets plus
+a far-future overflow heap.  The ordering contract is that dispatch order
+is *identical* to what the single heap would produce: (time, priority,
+insertion-seq) — same-tick bursts, far-future outliers, and events that
+schedule further events mid-dispatch included.  This property test drives
+both schedulers with the same randomized workload and compares the full
+dispatch sequences.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.sim.kernel import NORMAL, URGENT
+
+#: a workload is a list of root entries; each entry carries the delays /
+#: priorities of children it schedules at the moment it fires (so the
+#: schedule grows while it is being drained, like real processes do)
+_delays = st.sampled_from([0.0, 0.0, 0.0, 0.5, 1.0, 1.0, 2.5, 1e6])
+_priorities = st.sampled_from([NORMAL, NORMAL, NORMAL, URGENT])
+_child = st.tuples(_delays, _priorities)
+_entry = st.tuples(_delays, _priorities, st.lists(_child, max_size=3))
+_workload = st.lists(_entry, min_size=1, max_size=30)
+
+
+class _ReferenceSchedule:
+    """The classic single-heap scheduler the kernel used before PR 6."""
+
+    def __init__(self) -> None:
+        self.heap: list = []
+        self.seq = 0
+        self.now = 0.0
+
+    def push(self, delay: float, priority: int, label: object) -> None:
+        self.seq += 1
+        heapq.heappush(self.heap,
+                       (self.now + delay, priority, self.seq, label))
+
+    def drain(self, on_fire) -> list:
+        order = []
+        while self.heap:
+            when, _prio, _seq, label = heapq.heappop(self.heap)
+            self.now = when
+            order.append((when, label))
+            on_fire(self, label)
+        return order
+
+
+def _dispatch_with_simulator(workload, *, stepwise: bool) -> list:
+    sim = Simulator()
+    order = []
+
+    def fire(label):
+        order.append((sim.now, label))
+        _idx, children = label
+        for cidx, (delay, priority) in enumerate(children):
+            sim.schedule_fn(delay, fire, ((_idx, cidx), ()),
+                            priority=priority)
+
+    for idx, (delay, priority, children) in enumerate(workload):
+        sim.schedule_fn(delay, fire, (idx, tuple(children)),
+                        priority=priority)
+    if stepwise:
+        while sim.peek() != float("inf"):
+            sim.step()
+    else:
+        sim.run()
+    return order
+
+
+def _dispatch_with_reference(workload) -> list:
+    ref = _ReferenceSchedule()
+
+    def on_fire(sched, label):
+        _idx, children = label
+        for cidx, (delay, priority) in enumerate(children):
+            sched.push(delay, priority, ((_idx, cidx), ()))
+
+    for idx, (delay, priority, children) in enumerate(workload):
+        ref.push(delay, priority, (idx, tuple(children)))
+    return ref.drain(on_fire)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_workload)
+def test_bucketed_schedule_matches_single_heap_order(workload):
+    assert (_dispatch_with_simulator(workload, stepwise=False)
+            == _dispatch_with_reference(workload))
+
+
+@settings(max_examples=100, deadline=None)
+@given(_workload)
+def test_step_dispatches_in_run_order(workload):
+    """step()-ing the whole schedule gives exactly the run() sequence."""
+    assert (_dispatch_with_simulator(workload, stepwise=True)
+            == _dispatch_with_simulator(workload, stepwise=False))

@@ -182,6 +182,45 @@ def test_defused_failed_event_is_silent():
     sim.run()  # does not raise
 
 
+def test_failed_defused_event_identical_under_step_and_run():
+    """step() and run() share one dispatch path: a failed event that was
+    defused is silent under both, and an un-defused one raises under both
+    (regression test — step() used to read the public ok/defused properties
+    while run() read the private attributes)."""
+    def schedule_pair(sim):
+        bad = sim.event()
+        bad.fail(RuntimeError("quiet"))
+        bad.defuse()
+        after = sim.event()
+        after.succeed("fine")
+        return after
+
+    # run(): drains both events without raising.
+    sim = Simulator()
+    after = schedule_pair(sim)
+    sim.run()
+    assert after.processed
+
+    # step(): the same two events, one at a time, equally silent.
+    sim = Simulator()
+    after = schedule_pair(sim)
+    sim.step()
+    sim.step()
+    assert after.processed
+    with pytest.raises(SimulationError):
+        sim.step()  # schedule drained, like run() returning
+
+    # And a failed event *not* defused surfaces identically under both.
+    sim = Simulator()
+    sim.event().fail(RuntimeError("loud"))
+    with pytest.raises(RuntimeError, match="loud"):
+        sim.run()
+    sim = Simulator()
+    sim.event().fail(RuntimeError("loud"))
+    with pytest.raises(RuntimeError, match="loud"):
+        sim.step()
+
+
 def test_fail_requires_exception_instance():
     sim = Simulator()
     ev = sim.event()

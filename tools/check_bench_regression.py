@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Gate the wall-clock perf trajectory: candidate vs committed baseline.
+
+Compares two ``BENCH_*.json`` reports produced by
+``repro.bench.wallclock`` and fails (exit 1) if any benchmark present in
+*both* reports regressed by more than the threshold (default 25%).
+Benchmarks that exist in only one report are listed but never fail the
+gate — new entries (e.g. ``e2e/E1_n1000``) must be allowed to appear and
+retired entries to disappear without breaking CI.
+
+Usage::
+
+    python tools/check_bench_regression.py \
+        --baseline BENCH_1.json --candidate BENCH_2.json [--threshold 1.25]
+
+Caveat for CI use: wall-clock numbers only compare meaningfully when both
+reports come from comparable machines.  The committed BENCH_*.json pairs
+are recorded on the same developer machine in the same session; a gate
+against a *freshly generated* candidate on a different runner class needs
+the generous threshold this tool defaults to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_entries(path: str) -> Dict[str, float]:
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    return {e["name"]: e["per_op_us"] for e in report["benchmarks"]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_1.json")
+    parser.add_argument("--candidate", default="BENCH_2.json")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail when candidate/baseline exceeds this "
+                             "ratio (default 1.25 = +25%%)")
+    args = parser.parse_args(argv)
+
+    baseline = load_entries(args.baseline)
+    candidate = load_entries(args.candidate)
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        print("error: no shared benchmarks between "
+              f"{args.baseline} and {args.candidate}")
+        return 1
+
+    failures = []
+    width = max(len(name) for name in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12} {'candidate':>12} "
+          f"{'ratio':>7}")
+    for name in shared:
+        ratio = candidate[name] / baseline[name]
+        flag = "  REGRESSED" if ratio > args.threshold else ""
+        print(f"{name:<{width}}  {baseline[name]:>10.1f}us "
+              f"{candidate[name]:>10.1f}us {ratio:>6.2f}x{flag}")
+        if ratio > args.threshold:
+            failures.append((name, ratio))
+
+    for name in sorted(set(candidate) - set(baseline)):
+        print(f"{name:<{width}}  {'-':>12} {candidate[name]:>10.1f}us "
+              f"   new")
+    for name in sorted(set(baseline) - set(candidate)):
+        print(f"{name:<{width}}  {baseline[name]:>10.1f}us {'-':>12} "
+              f"   retired")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{(args.threshold - 1) * 100:.0f}% vs {args.baseline}:")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nOK: {len(shared)} shared benchmarks within "
+          f"{(args.threshold - 1) * 100:.0f}% of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
