@@ -3,7 +3,7 @@
 Unlike every other benchmark in this directory — which reproduces a *paper*
 measurement in virtual time — this one measures the real seconds the
 reproduction burns on the wire fast path, network delivery, broadcast
-fan-out, and the end-to-end scenarios.  It writes ``BENCH_2.json`` at the
+fan-out, and the end-to-end scenarios.  It writes ``BENCH_3.json`` at the
 repository root so successive PRs leave a perf trajectory, and gates it
 against the committed ``BENCH_1.json`` baseline: any shared benchmark more
 than 25% slower fails the suite.
@@ -25,7 +25,7 @@ from repro.bench.wallclock import format_report, run_suite, write_report
 
 #: committed baseline (PR 1) and where this PR's trajectory point lands
 BASELINE_JSON = Path(__file__).resolve().parents[1] / "BENCH_1.json"
-BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_2.json"
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_3.json"
 
 #: shared benchmarks may not be more than 25% slower than the baseline
 REGRESSION_THRESHOLD = 1.25
@@ -46,7 +46,7 @@ def test_wallclock_suite(benchmark):
 
 
 def test_no_regression_vs_baseline():
-    """The freshly-written BENCH_2.json must hold the BENCH_1.json line.
+    """The freshly-written BENCH_3.json must hold the BENCH_1.json line.
 
     Uses the same gate CI runs (``tools/check_bench_regression.py``): every
     benchmark present in both reports must be within the 25% threshold.
@@ -61,7 +61,7 @@ def test_no_regression_vs_baseline():
         sys.path.pop(0)
     if not BENCH_JSON.exists():  # bench suite not run in this session
         import pytest
-        pytest.skip("BENCH_2.json not generated (run test_wallclock_suite)")
+        pytest.skip("BENCH_3.json not generated (run test_wallclock_suite)")
     rc = gate(["--baseline", str(BASELINE_JSON),
                "--candidate", str(BENCH_JSON),
                "--threshold", str(REGRESSION_THRESHOLD)])

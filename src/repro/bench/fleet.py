@@ -1,0 +1,287 @@
+"""Fleet-scale deployment + the E11 directory workload.
+
+E1–E10 deploy the paper's literal shape (a few campus domains, full WAN
+mesh).  A full mesh is O(n²) links — useless at fleet scale — so
+:func:`build_fleet` wires N lean DISCOVER servers and M directory shard
+hosts in a star through one backbone host (``core``): any server reaches
+any shard in two WAN half-hops, the modern
+many-services-behind-a-backbone shape.  Servers skip naming/trader
+bootstrap entirely: at this scale *the sharded directory plane is* the
+discovery mechanism, which is exactly what E11 measures.
+
+:func:`run_fleet_directory` drives 10⁵+ simulated client sessions from a
+declarative :class:`~repro.bench.traffic.TrafficSpec` through real
+``DiscoverServer.client_login`` / ``DirectoryClient.locate_app`` /
+``client_logout`` calls and reports per-shard load flatness and
+fleet-wide lookup latency percentiles — the two quantities the
+acceptance story cares about (flat shards, p99 independent of fleet
+size).  An optional ``kill_shard_at`` crashes one replica mid-run to
+drill read failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.traffic import TrafficSpec, constant, exponential, session_plans
+from repro.core.server import DiscoverServer
+from repro.directory import DirectoryPlane, make_app_id
+from repro.metrics.stats import summarize
+from repro.net import Network
+from repro.net.costs import CostModel, LinkSpec
+from repro.orb import Orb, OrbError
+from repro.sim import Simulator
+from repro.sim.rng import DeterministicRNG
+
+
+@dataclass
+class Fleet:
+    """A star-backbone deployment of servers plus the directory plane."""
+
+    sim: Simulator
+    net: Network
+    servers: List[DiscoverServer]
+    plane: DirectoryPlane
+    by_name: Dict[str, DiscoverServer] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.by_name:
+            self.by_name = {s.name: s for s in self.servers}
+
+    def stop(self) -> None:
+        for server in self.servers:
+            server.stop()
+
+
+def build_fleet(n_servers: int, *, directory_shards: int = 4,
+                directory_replicas: int = 2,
+                spec: Optional[LinkSpec] = None,
+                cost_model: Optional[CostModel] = None,
+                peer_call_timeout: float = 3.0,
+                health_period: float = 5.0,
+                sim: Optional[Simulator] = None) -> Fleet:
+    """N servers + M shard hosts in a star through a ``core`` backbone.
+
+    Each edge link carries half the WAN latency, so any server-to-shard
+    path costs one WAN RTT — uniform by construction, which keeps the
+    fleet-size comparison about the *directory plane*, not topology
+    luck.  Tracing is off and health ticks are slow: at 10⁵ sessions the
+    observability machinery would otherwise dominate the wall clock.
+    """
+    if n_servers < 2:
+        raise ValueError("a fleet needs at least 2 servers")
+    sim = sim or Simulator()
+    spec = spec or LinkSpec()
+    costs = cost_model or CostModel()
+    net = Network(sim)
+    half_wan = spec.wan_latency / 2
+    net.add_host("core")
+    plane = DirectoryPlane(replicas=directory_replicas)
+    for i in range(directory_shards):
+        host = net.add_host(f"dir{i}")
+        net.add_link("core", host.name, half_wan, spec.wan_bandwidth,
+                     kind="wan")
+        plane.add_shard(host.name, Orb(host, cost_model=costs))
+    servers: List[DiscoverServer] = []
+    for i in range(n_servers):
+        host = net.add_host(f"s{i}")
+        net.add_link("core", host.name, half_wan, spec.wan_bandwidth,
+                     kind="wan")
+        # tracer defaults to SAMPLE_OFF for standalone servers — exactly
+        # what a 10⁵-session run wants
+        server = DiscoverServer(
+            host, cost_model=costs,
+            peer_call_timeout=peer_call_timeout,
+            health_period=health_period)
+        server.attach_directory(plane.client_for(server))
+        servers.append(server)
+    return Fleet(sim=sim, net=net, servers=servers, plane=plane)
+
+
+@dataclass
+class Population:
+    """The synthetic app/user universe published to the directory."""
+
+    users: List[str]
+    app_ids: List[str]
+    #: app_id → home server name (ground truth for locate assertions)
+    homes: Dict[str, str]
+
+
+def publish_population(fleet: Fleet, *, n_apps: int, n_users: int,
+                       users_per_app: int = 6,
+                       rng: Optional[DeterministicRNG] = None) -> Population:
+    """Generator: publish a synthetic app population through the plane.
+
+    Apps are homed round-robin across the fleet; every user is written
+    into (at least) two apps with *distinct* homes, so any login finds a
+    remote listing whatever edge server the session lands on.  ACLs are
+    registered in the home server's SecurityManager and published through
+    its ``DirectoryClient`` — the same write path real registration uses.
+    """
+    rng = rng or DeterministicRNG(0, "population")
+    acl_rng = rng.child("acls")
+    priv_rng = rng.child("privs")
+    users = [f"u{j}" for j in range(n_users)]
+    servers = fleet.servers
+    app_ids: List[str] = []
+    homes: Dict[str, str] = {}
+    acls: Dict[str, Dict[str, str]] = {}
+    for i in range(n_apps):
+        home = servers[i % len(servers)]
+        app_id = make_app_id(home.name, i // len(servers))
+        app_ids.append(app_id)
+        homes[app_id] = home.name
+        acls[app_id] = {}
+    # guaranteed memberships: user j joins apps j%A and (j+1)%A — homed
+    # round-robin, so consecutive apps live on different servers
+    for j, user in enumerate(users):
+        acls[app_ids[j % n_apps]][user] = "write"
+        acls[app_ids[(j + 1) % n_apps]][user] = "read"
+    for app_id in app_ids:
+        acl = acls[app_id]
+        while len(acl) < min(users_per_app, n_users):
+            user = acl_rng.choice(users)
+            if user not in acl:
+                acl[user] = "write" if priv_rng.uniform() < 0.3 else "read"
+    for app_id in app_ids:
+        home = fleet.by_name[homes[app_id]]
+        home.security.register_app_acl(app_id, acls[app_id])
+        yield from home.directory.publish_app(
+            app_id, home.name, f"sim-{app_id}", acls[app_id])
+    return Population(users=users, app_ids=app_ids, homes=homes)
+
+
+def _session(server: DiscoverServer, plan, homes: Dict[str, str],
+             counters: Dict[str, int]):
+    """One scripted client visit: login → N locates → logout."""
+    try:
+        client_id = yield from server.client_login(plan.user)
+    except Exception:
+        counters["failed"] += 1
+        return
+    try:
+        for app_id, think in zip(plan.apps, plan.thinks):
+            if think > 0:
+                yield server.sim.timeout(think)
+            try:
+                home = yield from server.directory.locate_app(app_id)
+            except OrbError:
+                counters["lookup_errors"] += 1
+                continue
+            if home != homes.get(app_id):
+                counters["misses"] += 1
+        server.client_logout(client_id)
+        counters["done"] += 1
+    except Exception:
+        counters["failed"] += 1
+
+
+def run_fleet_directory(n_servers: int = 50, *, n_sessions: int = 20_000,
+                        directory_shards: int = 8,
+                        directory_replicas: int = 2,
+                        n_apps: Optional[int] = None,
+                        n_users: Optional[int] = None,
+                        duration: Optional[float] = None,
+                        traffic: Optional[TrafficSpec] = None,
+                        kill_shard_at: Optional[float] = None,
+                        seed: int = 0) -> dict:
+    """E11: fleet-scale sharded-directory workload; returns one table row.
+
+    ``duration`` defaults to whatever keeps each shard near ~50% CPU
+    (≈6 ms of modeled ORB dispatch per read, ~3 reads per session), so
+    scaling ``n_sessions`` or the fleet never silently saturates the
+    plane — saturation is a *finding*, not a default.  With
+    ``kill_shard_at`` the first ring node crashes at that offset and the
+    run doubles as the failover drill.
+    """
+    n_apps = n_apps or max(8, 4 * n_servers)
+    n_users = n_users or max(100, n_sessions // 20)
+    if duration is None:
+        # per-shard read rate ≈ 3 * n_sessions / duration / shards;
+        # hold it near 80/s (≈50% of one modeled shard CPU)
+        duration = max(20.0, 3.0 * n_sessions / (80.0 * directory_shards))
+    fleet = build_fleet(n_servers, directory_shards=directory_shards,
+                        directory_replicas=directory_replicas)
+    sim = fleet.sim
+    rng = DeterministicRNG(seed, "e11")
+    pub = sim.spawn(publish_population(fleet, n_apps=n_apps,
+                                       n_users=n_users, rng=rng),
+                    name="publish-population")
+    population = sim.run(until=pub)
+    publish_loads = dict(fleet.plane.per_shard_load())
+
+    # uniform app mix by default: the ring flattens *keyspace*, not
+    # popularity — a zipf mix (available via ``traffic=``) shows hot-app
+    # skew concentrating on single shards, a finding EXPERIMENTS records
+    spec = traffic or TrafficSpec(
+        total_sessions=n_sessions, duration=duration,
+        ops_per_session=constant(2), think_time=exponential(0.1),
+        app_mix="uniform", seed=seed)
+    counters = {"done": 0, "failed": 0, "misses": 0, "lookup_errors": 0}
+    server_names = [s.name for s in fleet.servers]
+
+    def driver():
+        for gap, plan in session_plans(spec, population.users,
+                                       population.app_ids, server_names,
+                                       rng=rng.child("traffic")):
+            if gap > 0:
+                yield sim.timeout(gap)
+            sim.spawn(_session(fleet.by_name[plan.edge], plan,
+                               population.homes, counters),
+                      name="e11-session")
+
+    t0 = sim.now
+    sim.spawn(driver(), name="e11-driver")
+    if kill_shard_at is not None:
+        def killer():
+            yield sim.timeout(kill_shard_at)
+            fleet.plane.kill_shard(fleet.plane.ring.nodes[0])
+        sim.spawn(killer(), name="e11-killer")
+
+    total = spec.total_sessions
+    deadline = t0 + spec.duration + 120.0
+    while (counters["done"] + counters["failed"] < total
+           and sim.now < deadline):
+        sim.run(until=min(sim.now + 10.0, deadline))
+
+    # fleet-wide read latency: merge every server's reservoir samples
+    samples: List[float] = []
+    reads = 0
+    for server in fleet.servers:
+        samples.extend(server.directory_metrics.read_samples())
+        reads += server.directory_metrics.read_stats().count
+    stats = summarize(samples).scaled(1e3)
+
+    # per-shard load flatness over the *traffic* phase only (publishing
+    # is write-through: every replica sees every write by design)
+    loads = {shard: count - publish_loads.get(shard, 0)
+             for shard, count in
+             fleet.plane.per_shard_load(live_only=True).items()}
+    mean_load = (sum(loads.values()) / len(loads)) if loads else 0.0
+    flatness = (max(loads.values()) / mean_load) if mean_load else 0.0
+
+    from repro.bench.scenarios import pipeline_counters
+    row = {
+        "n_servers": n_servers,
+        "n_shards": directory_shards,
+        "n_replicas": directory_replicas,
+        "n_apps": n_apps,
+        "n_users": n_users,
+        "sessions": total,
+        "sessions_done": counters["done"],
+        "sessions_failed": counters["failed"],
+        "locate_misses": counters["misses"],
+        "lookup_errors": counters["lookup_errors"],
+        "dir_reads": reads,
+        "lookup_mean_ms": round(stats.mean, 3),
+        "lookup_p50_ms": round(stats.p50, 3),
+        "lookup_p99_ms": round(stats.p99, 3),
+        "shard_load_max_over_mean": round(flatness, 3),
+        "ring_epoch": fleet.plane.ring.epoch,
+        "virtual_duration_s": round(sim.now - t0, 1),
+    }
+    row.update(pipeline_counters(fleet.servers))
+    fleet.stop()
+    return row

@@ -51,6 +51,11 @@ HEALTH_KEYS = ("health_healthy", "health_degraded", "health_unhealthy",
                "health_unknown", "alerts_fired", "alerts_resolved",
                "health_failovers")
 
+#: sharded-directory totals, also added by ``pipeline_counters``
+DIRECTORY_KEYS = ("dir_lookups", "dir_locates", "dir_publishes",
+                  "dir_read_failovers", "dir_write_skips",
+                  "dir_stale_retries")
+
 
 def format_pipeline_summary(rows: Sequence[Dict]) -> str:
     """Footer lines aggregating the per-plane pipeline counters and the
@@ -87,6 +92,14 @@ def format_pipeline_summary(rows: Sequence[Dict]) -> str:
         if latencies:
             out += (f" detection_latency_s="
                     f"{max(latencies):.2f}")
+    if any(k in row for row in rows for k in DIRECTORY_KEYS):
+        dk = {k: sum(row.get(k, 0) for row in rows) for k in DIRECTORY_KEYS}
+        out += (f"\ndirectory: lookups={dk['dir_lookups']} "
+                f"locates={dk['dir_locates']} "
+                f"publishes={dk['dir_publishes']} "
+                f"read_failovers={dk['dir_read_failovers']} "
+                f"write_skips={dk['dir_write_skips']} "
+                f"stale_retries={dk['dir_stale_retries']}")
     return out
 
 

@@ -32,11 +32,19 @@ def pipeline_counters(servers, tracer=None) -> dict:
     ``fed_invalidations``, ``fed_poll_failovers``), and the health plane's
     fleet summary (``health_healthy`` / ``health_degraded`` /
     ``health_unhealthy`` / ``health_unknown`` status counts plus
-    ``alerts_fired`` / ``alerts_resolved`` / ``health_failovers``).
+    ``alerts_fired`` / ``alerts_resolved`` / ``health_failovers``),
+    and the directory plane's client totals (``dir_lookups``,
+    ``dir_locates``, ``dir_publishes``, ``dir_read_failovers``,
+    ``dir_write_skips``, ``dir_stale_retries``) plus
+    ``fed_discovery_skipped``.
     Passing the deployment's tracer adds the span-store totals
     (``spans_recorded``, ``traces_recorded``, ``spans_dropped``)."""
     http = orb = channel = errors = expired = 0
     subscribes = unsubscribes = invalidations = failovers = 0
+    discovery_skipped = 0
+    dir_totals = {"lookups": 0, "locates": 0, "publishes": 0,
+                  "read_failovers": 0, "write_skips": 0,
+                  "stale_epoch_retries": 0}
     status_counts = {"healthy": 0, "degraded": 0, "unhealthy": 0,
                      "unknown": 0}
     alerts_fired = alerts_resolved = health_failovers = 0
@@ -53,6 +61,11 @@ def pipeline_counters(servers, tracer=None) -> dict:
         invalidations += (fed.get("app_invalidations")
                           + fed.get("peer_invalidations"))
         failovers += fed.get("poll_failovers")
+        discovery_skipped += fed.get("discovery_skipped")
+        directory = getattr(server, "directory_metrics", None)
+        if directory is not None:
+            for key in dir_totals:
+                dir_totals[key] += directory.get(key)
         health = getattr(server, "health", None)
         if health is not None:
             for status, n in health.model.status_counts().items():
@@ -71,6 +84,13 @@ def pipeline_counters(servers, tracer=None) -> dict:
         "fed_unsubscribes": unsubscribes,
         "fed_invalidations": invalidations,
         "fed_poll_failovers": failovers,
+        "fed_discovery_skipped": discovery_skipped,
+        "dir_lookups": dir_totals["lookups"],
+        "dir_locates": dir_totals["locates"],
+        "dir_publishes": dir_totals["publishes"],
+        "dir_read_failovers": dir_totals["read_failovers"],
+        "dir_write_skips": dir_totals["write_skips"],
+        "dir_stale_retries": dir_totals["stale_epoch_retries"],
         "health_healthy": status_counts["healthy"],
         "health_degraded": status_counts["degraded"],
         "health_unhealthy": status_counts["unhealthy"],

@@ -235,6 +235,30 @@ def bench_end_to_end(quick: bool = False) -> List[Dict]:
     return results
 
 
+def bench_directory(quick: bool = False) -> List[Dict]:
+    """Fleet-scale E11: wall seconds for the sharded-directory workload.
+
+    Two fleet sizes at the same shard count, so the pair tracks both the
+    absolute cost of the directory plane and how it scales with servers
+    (sessions dominate; server count should be near-free).
+    """
+    from repro.bench.fleet import run_fleet_directory
+
+    rounds = 1 if quick else 3
+    sweeps = ((10, 500), (20, 500)) if quick else ((10, 2000), (50, 2000))
+    results = []
+    for n_servers, n_sessions in sweeps:
+        best, row = _best_of(
+            lambda n=n_servers, s=n_sessions: run_fleet_directory(
+                n, n_sessions=s, directory_shards=4), rounds)
+        results.append(_entry(
+            f"e2e/E11_directory_n{n_servers}_s{n_sessions}", best,
+            note=f"{row['sessions_done']} sessions, "
+                 f"p99 {row['lookup_p99_ms']:.1f}ms, "
+                 f"flatness {row['shard_load_max_over_mean']:.2f}"))
+    return results
+
+
 def bench_health_overhead(quick: bool = False) -> List[Dict]:
     """E1 with the health plane on vs off — the plane's wall-clock tax.
 
@@ -267,7 +291,8 @@ def run_suite(quick: bool = False) -> Dict:
     """Run every wall-clock bench; returns the full report dict."""
     benchmarks: List[Dict] = []
     for group in (bench_wire, bench_network, bench_broadcast,
-                  bench_end_to_end, bench_health_overhead):
+                  bench_end_to_end, bench_health_overhead,
+                  bench_directory):
         benchmarks.extend(group(quick=quick))
     return {
         "schema": SCHEMA,

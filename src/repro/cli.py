@@ -73,12 +73,27 @@ def _exp_e6(quick: bool) -> Tuple[List[dict], List[str]]:
                   "throughput_per_s"]
 
 
+def _exp_e11(quick: bool) -> Tuple[List[dict], List[str]]:
+    from repro.bench.fleet import run_fleet_directory
+    if quick:
+        sweeps = ((10, 1000, 4), (20, 1000, 4))
+    else:
+        sweeps = ((50, 20_000, 8), (100, 20_000, 8), (200, 20_000, 8))
+    rows = [run_fleet_directory(n, n_sessions=s, directory_shards=shards)
+            for n, s, shards in sweeps]
+    return rows, ["n_servers", "n_shards", "sessions", "sessions_done",
+                  "sessions_failed", "lookup_p50_ms", "lookup_p99_ms",
+                  "shard_load_max_over_mean"]
+
+
 EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
     "E1": ("applications per server (>40 supported)", _exp_e1),
     "E2": ("HTTP clients per server (~20, then degradation)", _exp_e2),
     "E4": ("WAN collaboration traffic, central vs P2P", _exp_e4),
     "E5": ("client update latency vs WAN distance", _exp_e5),
     "E6": ("steering latency, local vs remote application", _exp_e6),
+    "E11": ("sharded directory: flat shard load, p99 independent of "
+            "fleet size", _exp_e11),
 }
 
 

@@ -23,7 +23,10 @@ import itertools
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.proxy import ApplicationProxy
-from repro.federation.registry import home_server_of  # noqa: F401 (re-export)
+from repro.directory import (  # noqa: F401 (re-export)
+    home_server_of,
+    make_app_id,
+)
 from repro.pipeline.core import PLANE_CHANNEL, Pipeline, RequestContext
 from repro.steering.application import DAEMON_PORT
 from repro.wire import (
@@ -73,8 +76,8 @@ class DaemonService:
         self.endpoint.close()
 
     def next_app_id(self) -> str:
-        """Server name + local application count (§5.2.1)."""
-        return f"{self.server.name}#a{next(self._app_seq)}"
+        """Mint via the process-wide Placement (§5.2.1 by default)."""
+        return make_app_id(self.server.name, next(self._app_seq))
 
     def forward_command(self, app_host: str, app_port: int,
                         cmd: CommandMessage) -> None:

@@ -42,7 +42,9 @@ class Collaboratory:
         self.tracer = tracer if tracer is not None else Tracer(sim)
         self.apps: List[SteerableApplication] = []
         self.portals: List[DiscoverPortal] = []
-        #: the optional §6.3 user directory (set by build_collaboratory)
+        #: the optional §6.3 directory, deployed as a sharded
+        #: :class:`repro.directory.DirectoryPlane` (set by
+        #: build_collaboratory when ``use_directory=True``)
         self.directory = None
         #: registry references (set by build_collaboratory)
         self.naming_ref = None
@@ -98,7 +100,11 @@ class Collaboratory:
             registry.register(f"pipeline[{name}]", server.pipeline_metrics)
             registry.register(f"federation[{name}]",
                               server.federation_metrics)
+            registry.register(f"directory[{name}]",
+                              server.directory_metrics)
             registry.register(f"health[{name}]", server.health)
+        if self.directory is not None:
+            registry.register("directory_plane", self.directory)
         registry.register("traffic", self.net.trace)
         registry.register("spans", self.tracer)
         return registry
@@ -131,6 +137,8 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
                         client_buffer_capacity: float = float("inf"),
                         trader_match_cost: float = 0.0008,
                         use_directory: bool = False,
+                        directory_shards: int = 1,
+                        directory_replicas: int = 1,
                         update_mode: str = "push",
                         update_poll_interval: float = 0.5,
                         remote_access: str = "relay",
@@ -167,22 +175,32 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
     trader = TraderService(naming, sim=sim, match_cost=trader_match_cost)
     naming_ref = registry_orb.activate(naming, key=NamingService.OBJECT_KEY)
     trader_ref = registry_orb.activate(trader, key=TraderService.OBJECT_KEY)
-    directory_ref = None
     directory = None
     if use_directory:
-        # §6.3's proposed GIS-style user directory, co-hosted with the
-        # registry: login becomes a single lookup instead of a peer fan-out.
-        from repro.core.directory import UserDirectoryService
-        directory = UserDirectoryService()
-        directory_ref = registry_orb.activate(
-            directory, key=UserDirectoryService.OBJECT_KEY)
+        # §6.3's GIS-style user directory, scaled out into a consistent-
+        # hash ring of shard servants (repro.directory).  The default
+        # single shard is co-hosted with the registry — the paper's exact
+        # deployment shape — while ``directory_shards > 1`` spreads the
+        # ring over dedicated hosts on the registry LAN with
+        # ``directory_replicas``-way replication.
+        from repro.directory import DirectoryPlane
+        directory = DirectoryPlane(replicas=directory_replicas)
+        if directory_shards <= 1:
+            directory.add_shard(registry_host.name, registry_orb)
+        else:
+            for i in range(directory_shards):
+                shard_host = net.add_host(f"dir{i}", domain=domains[0].name)
+                net.add_link(shard_host.name, domains[0].server.name,
+                             spec.lan_latency, spec.lan_bandwidth,
+                             kind="lan")
+                shard_orb = Orb(shard_host, cost_model=costs, tracer=tracer)
+                directory.add_shard(shard_host.name, shard_orb)
 
     servers: Dict[str, DiscoverServer] = {}
     for domain in domains:
         server = DiscoverServer(
             domain.server, domain=domain.name, cost_model=costs,
             naming_ref=naming_ref, trader_ref=trader_ref,
-            directory_ref=directory_ref,
             client_buffer_capacity=client_buffer_capacity,
             update_mode=update_mode,
             update_poll_interval=update_poll_interval,
@@ -192,6 +210,8 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
             health_gossip_period=health_gossip_period,
             health_enabled=health_enabled,
             log_sink=log_sink)
+        if directory is not None:
+            server.attach_directory(directory.client_for(server))
         servers[server.name] = server
 
     collab = Collaboratory(sim, net, domains, servers, registry_orb, naming,

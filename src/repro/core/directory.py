@@ -28,6 +28,9 @@ class UserDirectoryService:
         self._by_app: Dict[str, Set[str]] = {}
         #: server → set of app_ids published from it (for bulk withdrawal)
         self._by_server: Dict[str, Set[str]] = {}
+        #: app_id → publishing server — the reverse index that keeps
+        #: withdraw_app O(users) instead of scanning every server's set
+        self._server_by_app: Dict[str, str] = {}
 
     def publish_app(self, app_id: str, server: str, name: str,
                     acl: Dict[str, str]) -> bool:
@@ -42,6 +45,7 @@ class UserDirectoryService:
             users.add(user)
         self._by_app[app_id] = users
         self._by_server.setdefault(server, set()).add(app_id)
+        self._server_by_app[app_id] = server
         return True
 
     def withdraw_app(self, app_id: str) -> bool:
@@ -53,8 +57,13 @@ class UserDirectoryService:
                 apps.pop(app_id, None)
                 if not apps:
                     del self._by_user[user]
-        for apps in self._by_server.values():
-            apps.discard(app_id)
+        server = self._server_by_app.pop(app_id, None)
+        if server is not None:
+            apps = self._by_server.get(server)
+            if apps is not None:
+                apps.discard(app_id)
+                if not apps:
+                    del self._by_server[server]
         return True
 
     def withdraw_server(self, server: str) -> int:

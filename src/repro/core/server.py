@@ -36,7 +36,7 @@ from repro.core.security import (
 from repro.core.interfaces import CORBA_PROXY, DISCOVER_CORBA_SERVER
 from repro.federation import AppRouter, PeerRegistry, SubscriptionManager
 from repro.health import HealthMonitor
-from repro.metrics import FederationMetrics, PipelineMetrics
+from repro.metrics import DirectoryMetrics, FederationMetrics, PipelineMetrics
 from repro.net.costs import CostModel
 from repro.pipeline.core import PLANE_CHANNEL, PLANE_HTTP, PLANE_ORB, Pipeline
 from repro.orb import ObjectRef, Orb, OrbError, ServiceOffer
@@ -64,7 +64,6 @@ class DiscoverServer:
                  cost_model: Optional[CostModel] = None,
                  naming_ref: Optional[ObjectRef] = None,
                  trader_ref: Optional[ObjectRef] = None,
-                 directory_ref: Optional[ObjectRef] = None,
                  client_buffer_capacity: float = float("inf"),
                  peer_call_timeout: float = 30.0,
                  update_mode: str = "push",
@@ -83,9 +82,12 @@ class DiscoverServer:
         self.costs = cost_model or CostModel()
         self.naming_ref = naming_ref
         self.trader_ref = trader_ref
-        #: optional GIS-style central user directory (§6.3); when set,
-        #: login is a single directory lookup instead of a peer fan-out
-        self.directory_ref = directory_ref
+        #: optional sharded user/app directory (§6.3 scaled out); a
+        #: :class:`repro.directory.DirectoryClient` attached by the
+        #: deployment via :meth:`attach_directory` — when set, login is a
+        #: single (sharded) directory lookup instead of a peer fan-out
+        self.directory = None
+        self.directory_metrics = DirectoryMetrics()
         #: how updates for remote apps reach this server: "push" (home
         #: server sends one message per subscribed peer, the default) or
         #: "poll" (this server polls the CorbaProxy — the paper's literal
@@ -230,8 +232,8 @@ class DiscoverServer:
         if self.naming_ref is not None:
             self.sim.spawn(self._bind_app(proxy.app_id, ref),
                            name=f"bind-{proxy.app_id}")
-        # Publish users to the central directory, if deployed (§6.3).
-        if self.directory_ref is not None:
+        # Publish users to the directory plane, if deployed (§6.3).
+        if self.directory is not None:
             self.sim.spawn(self._publish_app_to_directory(proxy),
                            name=f"dir-{proxy.app_id}")
 
@@ -244,9 +246,8 @@ class DiscoverServer:
 
     def _publish_app_to_directory(self, proxy: ApplicationProxy):
         try:
-            yield from self.orb.invoke(
-                self.directory_ref, "publish_app", proxy.app_id, self.name,
-                proxy.app_name, proxy.acl, timeout=self.peer_call_timeout)
+            yield from self.directory.publish_app(
+                proxy.app_id, self.name, proxy.app_name, proxy.acl)
         except OrbError:  # directory down: login falls back to fan-out
             pass
 
@@ -297,7 +298,7 @@ class DiscoverServer:
         if proxy is None:
             return
         proxy.mark_stopped()
-        if self.directory_ref is not None:
+        if self.directory is not None:
             self.sim.spawn(self._withdraw_from_directory(app_id),
                            name=f"undir-{app_id}")
         note = ControlMessage("app_stopped", detail=app_id, app_id=app_id,
@@ -338,13 +339,11 @@ class DiscoverServer:
                                      + self.costs.auth_check_cost)
         known_locally = self.security.authenticate_user(user, password)
         remote_apps: Dict[str, dict] = {}
-        if self.directory_ref is not None:
-            # §6.3's proposed GIS-style directory: one lookup replaces the
-            # whole peer fan-out.
+        if self.directory is not None:
+            # §6.3's proposed GIS-style directory, scaled out: one sharded
+            # lookup (with replica failover) replaces the peer fan-out.
             try:
-                listings = yield from self.orb.invoke(
-                    self.directory_ref, "lookup", user,
-                    timeout=self.peer_call_timeout)
+                listings = yield from self.directory.lookup(user)
             except OrbError:
                 listings = None
             if listings is not None:
@@ -623,10 +622,14 @@ class DiscoverServer:
         owner = self.collab.owner_server(client_id)
         self.registry.push_to_client(owner, client_id, msg)
 
+    def attach_directory(self, client) -> None:
+        """Wire this server to the sharded directory plane (deployment
+        calls this with a per-server ``DirectoryClient``)."""
+        self.directory = client
+
     def _withdraw_from_directory(self, app_id: str):
         try:
-            yield from self.orb.invoke(self.directory_ref, "withdraw_app",
-                                       app_id, timeout=self.peer_call_timeout)
+            yield from self.directory.withdraw_app(app_id)
         except OrbError:
             pass
 
@@ -654,6 +657,7 @@ class DiscoverServer:
         registry.register(f"pipeline[{self.name}]", self.pipeline_metrics)
         registry.register(f"federation[{self.name}]",
                           self.federation_metrics)
+        registry.register(f"directory[{self.name}]", self.directory_metrics)
         registry.register(f"health[{self.name}]", self.health)
         registry.register(f"log[{self.name}]", self.log)
         return registry
@@ -677,11 +681,9 @@ class DiscoverServer:
             for peer in proxy.remote_subscribers:
                 self.registry.push_update(peer, app_id, note)
             self.router.forget(app_id)
-        if self.directory_ref is not None:
+        if self.directory is not None:
             try:
-                yield from self.orb.invoke(
-                    self.directory_ref, "withdraw_server", self.name,
-                    timeout=self.peer_call_timeout)
+                yield from self.directory.withdraw_server(self.name)
             except OrbError:
                 pass  # directory down: stale entries age out on lookup
         self.stop()

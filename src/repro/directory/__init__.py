@@ -1,0 +1,53 @@
+"""Sharded, replicated directory plane (PR 7).
+
+The paper's §6.3 GIS-style directory and the ``server#aN`` home-server
+convention were the last single-logical-registry assumptions in the
+codebase.  This package scales both out:
+
+- :mod:`repro.directory.ring` — consistent-hash ring with virtual nodes
+  and an explicit epoch, mapping directory keys (user names, app ids)
+  to shard servers.
+- :mod:`repro.directory.placement` — the ``Placement`` abstraction that
+  owns app-id minting and ``app_id -> home server`` resolution.  The
+  process-wide instance backs the ``home_server_of`` façade that
+  federation and the daemon import; *no other module may parse app ids*
+  (AST-lint enforced by ``tools/check_pipeline_boundary.py``).
+- :mod:`repro.directory.shard` — the ORB servant holding one shard of
+  the user-directory + app-location maps (the storage half of the old
+  ``UserDirectoryService``).
+- :mod:`repro.directory.client` — ``DirectoryClient``: write-through to
+  all R replicas, health-aware read failover, bounded stub cache with
+  ring-epoch invalidation (the lookup half of the old service).
+- :mod:`repro.directory.plane` — ``DirectoryPlane``: deploys the shard
+  servants onto hosts, owns the live ref table and the ring, hands out
+  per-server clients, kills/restarts replicas for fault drills.
+
+Everything outside this package goes through the façade below.
+"""
+
+from repro.directory.ring import HashRing
+from repro.directory.placement import (
+    Placement,
+    PrefixPlacement,
+    get_placement,
+    set_placement,
+    home_server_of,
+    make_app_id,
+)
+from repro.directory.shard import DIRECTORY_SHARD, DirectoryShardServant
+from repro.directory.client import DirectoryClient
+from repro.directory.plane import DirectoryPlane
+
+__all__ = [
+    "HashRing",
+    "Placement",
+    "PrefixPlacement",
+    "get_placement",
+    "set_placement",
+    "home_server_of",
+    "make_app_id",
+    "DIRECTORY_SHARD",
+    "DirectoryShardServant",
+    "DirectoryClient",
+    "DirectoryPlane",
+]

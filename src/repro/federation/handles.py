@@ -133,7 +133,7 @@ class RemoteAppHandle(AppHandle):
                  app_id: str) -> None:
         super().__init__(server, app_id)
         self.registry = registry
-        from repro.federation.registry import home_server_of
+        from repro.directory import home_server_of
         self.home = home_server_of(app_id)
 
     def _stub(self):

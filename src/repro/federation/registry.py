@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.interfaces import CORBA_PROXY, DISCOVER_CORBA_SERVER
+from repro.directory import home_server_of  # noqa: F401 - façade
 from repro.orb import CommFailure, ObjectRef, OrbError
 from repro.orb.idl import Stub, make_stub
 
@@ -32,10 +33,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.metrics import FederationMetrics
     from repro.orb import Orb
 
-
-def home_server_of(app_id: str) -> str:
-    """Extract the home server name from an application identifier."""
-    return app_id.split("#", 1)[0]
+# home_server_of stays importable from here (its historical home), but the
+# extraction itself now lives behind repro.directory's Placement — the
+# directory-boundary lint forbids parsing app ids anywhere else.
 
 
 class PeerRegistry:
@@ -89,6 +89,14 @@ class PeerRegistry:
     def discover_peers(self):
         """Generator: find every other DISCOVER server via the trader."""
         if self.trader_ref is None:
+            # a server deployed without a trader cannot see the fleet —
+            # surface the skip instead of dropping it on the floor
+            if self.log is not None:
+                self.log.warn("fed_discovery_skipped",
+                              reason="no trader_ref",
+                              service_id=self.service_id)
+            if self.metrics is not None:
+                self.metrics.count("discovery_skipped")
             return []
         offers = yield from self.orb.invoke(
             self.trader_ref, "query", self.service_id,

@@ -16,7 +16,7 @@ from repro.federation.handles import (
     LocalAppHandle,
     RemoteAppHandle,
 )
-from repro.federation.registry import home_server_of
+from repro.directory import home_server_of
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.server import DiscoverServer

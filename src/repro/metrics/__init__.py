@@ -7,12 +7,15 @@
   histograms fed by the request pipeline's metrics interceptor.
 - :class:`FederationMetrics` — peer-cache invalidation, subscription
   lifecycle, and per-app staleness counters fed by the federation layer.
+- :class:`DirectoryMetrics` — directory-plane read/write counters, replica
+  failovers, and lookup latency fed by the sharded directory client.
 - :class:`Reservoir` — bounded sample store (exact count/mean/min/max,
   reservoir-sampled percentiles) backing the long-running collectors.
 - :class:`SummaryStats` — the reduction product, printable as table rows.
 """
 
 from repro.metrics.collectors import (
+    DirectoryMetrics,
     FederationMetrics,
     LatencyRecorder,
     PipelineMetrics,
@@ -21,6 +24,7 @@ from repro.metrics.collectors import (
 from repro.metrics.stats import Reservoir, SummaryStats, summarize
 
 __all__ = [
+    "DirectoryMetrics",
     "FederationMetrics",
     "LatencyRecorder",
     "PipelineMetrics",

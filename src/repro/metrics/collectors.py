@@ -174,6 +174,52 @@ class FederationMetrics:
         self._staleness.clear()
 
 
+class DirectoryMetrics:
+    """Counters and lookup latency for one server's ``DirectoryClient``.
+
+    Fed by :class:`repro.directory.client.DirectoryClient` — counts
+    reads/writes against the sharded directory plane, replica failovers
+    on reads (``read_failovers``), replica write skips on write-through
+    (``write_skips``), stale-ring-epoch retries and stub-cache churn.
+    ``lookups`` covers user lookups + authentications; ``locates`` covers
+    app-placement reads.  Latency samples are virtual seconds from issuing
+    a directory read to its reply, reservoir-bounded (exact count/mean,
+    sampled percentiles).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._read_latency = Reservoir()
+
+    def count(self, name: str, n: int = 1) -> None:
+        self._counters[name] += n
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def observe_read(self, latency: float) -> None:
+        """Record one successful directory read's round-trip time."""
+        self._read_latency.add(latency)
+
+    def read_stats(self) -> SummaryStats:
+        return self._read_latency.stats()
+
+    def read_samples(self) -> List[float]:
+        """The reservoir's retained samples (for cross-server merging)."""
+        return self._read_latency.samples()
+
+    def snapshot(self) -> dict:
+        out = dict(self._counters)
+        stats = self.read_stats().scaled(1e3)
+        out["read_latency_ms"] = {"count": stats.count, "mean": stats.mean,
+                                  "p50": stats.p50, "p99": stats.p99}
+        return out
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._read_latency = Reservoir()
+
+
 class ThroughputMeter:
     """Counts events and reports rates over the elapsed virtual time."""
 

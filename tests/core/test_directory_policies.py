@@ -57,6 +57,29 @@ def test_directory_republish_replaces_acl():
     assert d.authenticate("bob")
 
 
+def test_directory_withdraw_maintains_server_reverse_index():
+    d = UserDirectoryService()
+    d.publish_app("s1#a1", "s1", "wave", {"alice": "write"})
+    d.publish_app("s1#a2", "s1", "cfd", {"bob": "read"})
+    d.publish_app("s2#a1", "s2", "heat", {"alice": "read"})
+    d.withdraw_app("s1#a1")  # must leave only s1#a2 under s1
+    assert d.withdraw_server("s1") == 1
+    assert d.withdraw_server("s2") == 1
+    assert d.app_count() == 0 and d.known_users() == []
+
+
+def test_directory_republish_moves_app_between_servers():
+    # re-publishing the same app from a new server must re-home it in
+    # the reverse index, not leave a stale pointer at the old server
+    d = UserDirectoryService()
+    d.publish_app("x#a1", "s1", "wave", {"alice": "write"})
+    d.publish_app("x#a1", "s2", "wave", {"alice": "write"})
+    assert d.withdraw_server("s1") == 0
+    assert d.authenticate("alice")
+    assert d.withdraw_server("s2") == 1
+    assert not d.authenticate("alice")
+
+
 def test_directory_backed_login_end_to_end():
     collab = build_collaboratory(3, apps_hosts_per_domain=1,
                                  client_hosts_per_domain=1,

@@ -1,0 +1,47 @@
+"""E11 at reduced scale: flat shards, size-independent p99, kill drill.
+
+The full-scale sweep lives in EXPERIMENTS.md / the CLI; these runs keep
+the same acceptance shape (two fleet sizes compared, one replica killed
+mid-run) at a few hundred sessions so the suite stays CI-sized.
+"""
+
+from repro.bench.fleet import run_fleet_directory
+
+
+def run(n_servers, **kw):
+    kw.setdefault("n_sessions", 400)
+    kw.setdefault("directory_shards", 4)
+    return run_fleet_directory(n_servers, **kw)
+
+
+def test_flat_load_and_p99_independent_of_fleet_size():
+    # 1000 sessions over a 64-app/400-user population: enough keys and
+    # reads per shard that flatness measures the ring, not sampling noise
+    small = run(6, n_sessions=1000, n_apps=64, n_users=400)
+    large = run(12, n_sessions=1000, n_apps=64, n_users=400)
+    for row in (small, large):
+        assert row["sessions_done"] == row["sessions"], row
+        assert row["sessions_failed"] == 0, row
+        assert row["locate_misses"] == 0, row
+        assert row["shard_load_max_over_mean"] <= 1.5, row
+    # doubling the fleet must not move the lookup tail: the p99 is set by
+    # the two-WAN-hop path to a shard, not by how many servers share it
+    ratio = large["lookup_p99_ms"] / small["lookup_p99_ms"]
+    assert 0.75 <= ratio <= 1.25, (small, large)
+
+
+def test_kill_replica_mid_run_is_absorbed_by_failover():
+    row = run(8, directory_replicas=2, kill_shard_at=5.0)
+    assert row["sessions_done"] == row["sessions"], row
+    assert row["sessions_failed"] == 0, row
+    assert row["dir_read_failovers"] > 0, row
+    # the dead replica stays on the ring: no membership change happened
+    assert row["ring_epoch"] == row["n_shards"], row
+
+
+def test_kill_drill_is_deterministic():
+    a = run(6, n_sessions=200, directory_replicas=2, kill_shard_at=3.0,
+            seed=7)
+    b = run(6, n_sessions=200, directory_replicas=2, kill_shard_at=3.0,
+            seed=7)
+    assert a == b

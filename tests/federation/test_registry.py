@@ -120,3 +120,26 @@ def test_check_peer_liveness(pair):
     s0.stop()
     assert run(collab, s1.registry.check_peer(s0.name)) is False
     assert s1.registry.cached_apps() == []
+
+
+def test_discover_peers_without_trader_surfaces_the_skip():
+    """A server deployed traderless (fleet mode) must log and count the
+    skipped discovery instead of silently returning no peers."""
+    from repro.federation.registry import PeerRegistry
+    from repro.metrics import FederationMetrics
+    from repro.net import Network
+    from repro.obs import StructuredLog
+    from repro.orb import Orb
+    from repro.sim import Simulator
+    from tests.conftest import drive
+
+    sim = Simulator()
+    net = Network(sim)
+    net.add_host("h0")
+    registry = PeerRegistry(Orb(net.hosts["h0"]), "s0",
+                            metrics=FederationMetrics())
+    registry.log = StructuredLog(server="s0")
+    assert drive(sim, registry.discover_peers()) == []
+    assert registry.metrics.get("discovery_skipped") == 1
+    records = registry.log.records(event="fed_discovery_skipped")
+    assert records and records[0]["reason"] == "no trader_ref"

@@ -31,6 +31,14 @@ Three checks, all AST-based:
    HealthMonitor`` stays legal) or naming ``ComponentHealth`` /
    ``HealthModel`` outside the package re-inlines the status taxonomy.
 
+5. **Directory boundary** — key→shard routing and app-id structure live
+   in :mod:`repro.directory`.  Outside the package: no directory
+   *submodule* imports (the facade ``from repro.directory import
+   home_server_of`` stays legal), no ring/shard internals
+   (``HashRing`` / ``shard_of`` / ``replicas_of`` / ...), and no
+   ``.split("#")`` — parsing an app id anywhere else re-inlines the
+   placement policy ``home_server_of`` made pluggable.
+
 Usage: python tools/check_pipeline_boundary.py [repo_root]
 """
 
@@ -71,6 +79,19 @@ HEALTH_ONLY_NAMES = frozenset({"ComponentHealth", "HealthModel"})
 
 #: the health package, relative to the repo root
 HEALTH_PACKAGE = "src/repro/health"
+
+#: ring/shard internals only repro.directory may name — callers route
+#: through DirectoryClient / DirectoryPlane / home_server_of
+DIRECTORY_ONLY_NAMES = frozenset(
+    {"HashRing", "DirectoryShardServant", "DIRECTORY_SHARD",
+     "StaleRingEpoch", "shard_of", "replicas_of"})
+
+#: the directory package, relative to the repo root
+DIRECTORY_PACKAGE = "src/repro/directory"
+
+#: the app-id separator — splitting on it outside repro.directory is
+#: placement policy leaking out of the Placement abstraction
+APP_ID_SEPARATOR = "#"
 
 
 def forbidden_imports(path: Path) -> list:
@@ -169,6 +190,43 @@ def health_leaks(path: Path) -> list:
     return hits
 
 
+def directory_leaks(path: Path) -> list:
+    """(lineno, what) pairs for directory-internal use in ``path``.
+
+    Three patterns leak placement/routing policy out of
+    :mod:`repro.directory`: importing a directory *submodule*
+    (``repro.directory.ring`` — the facade ``from repro.directory import
+    home_server_of`` stays legal), naming a ring/shard internal
+    (``HashRing`` / ``shard_of`` / ...), and calling ``.split("#")`` on
+    anything — the app-id structure is :class:`PrefixPlacement`'s
+    private business.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.directory."):
+                    hits.append((node.lineno,
+                                 f"imports {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.startswith("repro.directory."):
+                hits.append((node.lineno, f"imports from {module}"))
+        elif isinstance(node, (ast.Name, ast.Attribute)):
+            name = node.id if isinstance(node, ast.Name) else node.attr
+            if name in DIRECTORY_ONLY_NAMES:
+                hits.append((node.lineno, f"uses {name!r}"))
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "split"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == APP_ID_SEPARATOR):
+            hits.append((node.lineno, 'calls .split("#")'))
+    return hits
+
+
 def main(argv) -> int:
     root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
     failures = []
@@ -184,9 +242,11 @@ def main(argv) -> int:
     fed_root = root / FEDERATION_PACKAGE
     obs_root = root / OBS_PACKAGE
     health_root = root / HEALTH_PACKAGE
+    directory_root = root / DIRECTORY_PACKAGE
     checked = 0
     obs_checked = 0
     health_checked = 0
+    directory_checked = 0
     for path in sorted((root / "src" / "repro").rglob("*.py")):
         rel = path.relative_to(root)
         if not (fed_root in path.parents or path.parent == fed_root):
@@ -208,6 +268,14 @@ def main(argv) -> int:
                 failures.append(
                     f"{rel}:{lineno}: {what} — status folding stays in "
                     f"repro.health; use the HealthMonitor query API")
+        if not (directory_root in path.parents
+                or path.parent == directory_root):
+            directory_checked += 1
+            for lineno, what in directory_leaks(path):
+                failures.append(
+                    f"{rel}:{lineno}: {what} — ring/placement internals "
+                    f"stay in repro.directory; use DirectoryClient / "
+                    f"home_server_of")
     if failures:
         print("pipeline boundary violations:", file=sys.stderr)
         for failure in failures:
@@ -216,7 +284,8 @@ def main(argv) -> int:
     print(f"pipeline boundary OK ({len(DISPATCH_MODULES)} dispatch modules "
           f"clean); federation boundary OK ({checked} modules clean); "
           f"obs boundary OK ({obs_checked} modules clean); "
-          f"health boundary OK ({health_checked} modules clean)")
+          f"health boundary OK ({health_checked} modules clean); "
+          f"directory boundary OK ({directory_checked} modules clean)")
     return 0
 
 
