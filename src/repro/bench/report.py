@@ -54,7 +54,11 @@ HEALTH_KEYS = ("health_healthy", "health_degraded", "health_unhealthy",
 #: sharded-directory totals, also added by ``pipeline_counters``
 DIRECTORY_KEYS = ("dir_lookups", "dir_locates", "dir_publishes",
                   "dir_read_failovers", "dir_write_skips",
-                  "dir_stale_retries")
+                  "dir_stale_retries", "dir_stub_hits", "dir_stub_misses")
+
+#: durable-state-plane totals, also added by ``pipeline_counters``
+STORAGE_KEYS = ("storage_appends", "storage_snapshots", "storage_compacted",
+                "storage_recoveries", "storage_replayed")
 
 
 def format_pipeline_summary(rows: Sequence[Dict]) -> str:
@@ -99,7 +103,16 @@ def format_pipeline_summary(rows: Sequence[Dict]) -> str:
                 f"publishes={dk['dir_publishes']} "
                 f"read_failovers={dk['dir_read_failovers']} "
                 f"write_skips={dk['dir_write_skips']} "
-                f"stale_retries={dk['dir_stale_retries']}")
+                f"stale_retries={dk['dir_stale_retries']} "
+                f"stub_hits={dk['dir_stub_hits']} "
+                f"stub_misses={dk['dir_stub_misses']}")
+    if any(k in row for row in rows for k in STORAGE_KEYS):
+        sk = {k: sum(row.get(k, 0) for row in rows) for k in STORAGE_KEYS}
+        out += (f"\nstorage: appends={sk['storage_appends']} "
+                f"snapshots={sk['storage_snapshots']} "
+                f"compacted={sk['storage_compacted']} "
+                f"recoveries={sk['storage_recoveries']} "
+                f"replayed={sk['storage_replayed']}")
     return out
 
 

@@ -35,8 +35,10 @@ def pipeline_counters(servers, tracer=None) -> dict:
     ``alerts_fired`` / ``alerts_resolved`` / ``health_failovers``),
     and the directory plane's client totals (``dir_lookups``,
     ``dir_locates``, ``dir_publishes``, ``dir_read_failovers``,
-    ``dir_write_skips``, ``dir_stale_retries``) plus
-    ``fed_discovery_skipped``.
+    ``dir_write_skips``, ``dir_stale_retries``, ``dir_stub_hits``,
+    ``dir_stub_misses``) plus ``fed_discovery_skipped``, and the durable
+    state plane's totals (``storage_appends``, ``storage_snapshots``,
+    ``storage_compacted``, ``storage_recoveries``, ``storage_replayed``).
     Passing the deployment's tracer adds the span-store totals
     (``spans_recorded``, ``traces_recorded``, ``spans_dropped``)."""
     http = orb = channel = errors = expired = 0
@@ -44,7 +46,11 @@ def pipeline_counters(servers, tracer=None) -> dict:
     discovery_skipped = 0
     dir_totals = {"lookups": 0, "locates": 0, "publishes": 0,
                   "read_failovers": 0, "write_skips": 0,
-                  "stale_epoch_retries": 0}
+                  "stale_epoch_retries": 0, "stub_cache_hits": 0,
+                  "stub_cache_misses": 0}
+    storage_totals = {"wal_appends": 0, "snapshots": 0,
+                      "records_compacted": 0, "recoveries": 0,
+                      "records_replayed": 0}
     status_counts = {"healthy": 0, "degraded": 0, "unhealthy": 0,
                      "unknown": 0}
     alerts_fired = alerts_resolved = health_failovers = 0
@@ -66,6 +72,10 @@ def pipeline_counters(servers, tracer=None) -> dict:
         if directory is not None:
             for key in dir_totals:
                 dir_totals[key] += directory.get(key)
+        storage = getattr(server, "storage_metrics", None)
+        if storage is not None:
+            for key in storage_totals:
+                storage_totals[key] += storage.get(key)
         health = getattr(server, "health", None)
         if health is not None:
             for status, n in health.model.status_counts().items():
@@ -91,6 +101,13 @@ def pipeline_counters(servers, tracer=None) -> dict:
         "dir_read_failovers": dir_totals["read_failovers"],
         "dir_write_skips": dir_totals["write_skips"],
         "dir_stale_retries": dir_totals["stale_epoch_retries"],
+        "dir_stub_hits": dir_totals["stub_cache_hits"],
+        "dir_stub_misses": dir_totals["stub_cache_misses"],
+        "storage_appends": storage_totals["wal_appends"],
+        "storage_snapshots": storage_totals["snapshots"],
+        "storage_compacted": storage_totals["records_compacted"],
+        "storage_recoveries": storage_totals["recoveries"],
+        "storage_replayed": storage_totals["records_replayed"],
         "health_healthy": status_counts["healthy"],
         "health_degraded": status_counts["degraded"],
         "health_unhealthy": status_counts["unhealthy"],
@@ -414,6 +431,147 @@ def run_fault_injection(*, duration: float = 30.0, kill_at: float = 10.0,
         "commands_failed": counts.get("failed", 0),
         "alert_exemplars": len(exemplars),
         **pipeline_counters(survivors, tracer=collab.tracer),
+    }
+    return row, collab
+
+
+def run_recovery_drill(*, n_commands: int = 10,
+                       command_interval: float = 0.5,
+                       outage: float = 1.0, settle: float = 4.0,
+                       wan_latency: float = 0.030,
+                       snapshot_every: int = 32,
+                       storage_backend_factory=None):
+    """E12: kill a server mid-collaboration, restart it, recover its planes.
+
+    Two domains; the steered application is homed in domain 1.  A driver
+    client joins a sub-group, takes the steering lock, and issues
+    ``n_commands`` mutating commands; a second client queues behind the
+    lock.  Then the domain-1 server is stopped cold and — after
+    ``outage`` virtual seconds — replaced via
+    :meth:`~repro.core.deployment.Collaboratory.restart_server`, which
+    rebuilds sessions, proxies, lock tables, group membership, and the
+    archive from the surviving backend's ``snapshot + WAL tail``.
+    Finally a latecomer in domain 0 logs in as a read-only ACL user and
+    catches up from the recovered archive across the WAN.
+
+    ``storage_backend_factory`` selects the medium (default in-memory;
+    CI passes :class:`~repro.storage.JsonlBackend` directories so the
+    compacted snapshot survives as an artifact).  Returns
+    ``(row, collab)``; every row value is deterministic except
+    ``recovery_wall_ms`` (real time, reported not asserted).
+    """
+    from repro.apps import SyntheticApp
+    from repro.steering import AppConfig
+
+    spec = LinkSpec(wan_latency=wan_latency)
+    collab = build_collaboratory(2, apps_hosts_per_domain=1,
+                                 client_hosts_per_domain=1, spec=spec,
+                                 storage_backend_factory=storage_backend_factory,
+                                 storage_snapshot_every=snapshot_every)
+    collab.run_bootstrap()
+    interactive = AppConfig(steps_per_phase=1, step_time=0.005,
+                            interaction_window=0.25,
+                            command_service_time=0.002)
+    primary = collab.add_app(1, SyntheticApp, "recovery-target",
+                             acl={"bench": "write", "observer": "read"},
+                             config=interactive)
+    collab.sim.run(until=collab.sim.now + 2.0)  # app registers
+    app_id = primary.app_id
+    victim = collab.server_of(1)
+    victim_name = victim.name
+
+    driver = collab.add_portal(1)
+    waiter = collab.add_portal(1)
+    state: dict = {}
+
+    def driver_setup():
+        yield from driver.login("bench")
+        session = yield from driver.open(app_id)
+        yield from session.join_group("scientists")
+        state["driver_lock"] = yield from session.acquire_lock()
+        state["driver"] = session
+
+    proc = collab.sim.spawn(driver_setup(), name="driver-setup")
+    collab.sim.run(until=proc)
+
+    def waiter_setup():
+        yield from waiter.login("bench")
+        session = yield from waiter.open(app_id)
+        yield from session.join_group("scientists")
+        state["waiter_lock"] = yield from session.acquire_lock()
+
+    proc = collab.sim.spawn(waiter_setup(), name="waiter-setup")
+    collab.sim.run(until=proc)
+
+    def drive_commands():
+        session = state["driver"]
+        for i in range(n_commands):
+            yield collab.sim.timeout(command_interval)
+            yield from session.set_param("gain", float(i))
+
+    proc = collab.sim.spawn(drive_commands(), name="driver-commands")
+    collab.sim.run(until=proc)
+
+    pre = {
+        "sessions": victim.collab.session_count(),
+        "holder": victim.locks.holder_of(app_id),
+        "queue": victim.locks.queue_length(app_id),
+        "members_all": victim.collab.members_of(app_id),
+        "members_sci": victim.collab.members_of(app_id, "scientists"),
+        "interactions": victim.archive.interaction_count(app_id),
+    }
+    wal_appends = victim.storage_metrics.get("wal_appends")
+    pre_snapshots = victim.storage_metrics.get("snapshots")
+
+    # -- crash, outage, restart, recovery ---------------------------------
+    victim.stop()
+    collab.sim.run(until=collab.sim.now + outage)
+    server2, report = collab.restart_server(victim_name)
+    collab.run_bootstrap()
+    collab.sim.run(until=collab.sim.now + settle)
+
+    post = {
+        "sessions": server2.collab.session_count(),
+        "holder": server2.locks.holder_of(app_id),
+        "queue": server2.locks.queue_length(app_id),
+        "members_all": server2.collab.members_of(app_id),
+        "members_sci": server2.collab.members_of(app_id, "scientists"),
+        "interactions": server2.archive.interaction_count(app_id),
+    }
+
+    # -- latecomer catch-up across the WAN from the recovered archive -----
+    late = collab.add_portal(0)
+    records: dict = {}
+
+    def latecomer():
+        yield from late.login("observer")
+        session = yield from late.open(app_id)
+        records["catchup"] = yield from session.catchup(n=100)
+        records["app_log"] = yield from session.replay_app_log()
+
+    proc = collab.sim.spawn(latecomer(), name="latecomer")
+    collab.sim.run(until=proc)
+
+    row = {
+        "victim": victim_name,
+        "outage_s": outage,
+        "snapshot_every": snapshot_every,
+        "pre_sessions": pre["sessions"],
+        "recovered_sessions": post["sessions"],
+        "pre_interactions": pre["interactions"],
+        "recovered_interactions": post["interactions"],
+        "lock_preserved": post["holder"] == pre["holder"],
+        "queue_preserved": post["queue"] == pre["queue"],
+        "groups_preserved": (post["members_all"] == pre["members_all"]
+                             and post["members_sci"] == pre["members_sci"]),
+        "wal_appends": wal_appends,
+        "pre_snapshots": pre_snapshots,
+        "wal_replayed": report.replayed,
+        "snapshot_lsn": report.snapshot_lsn,
+        "recovery_wall_ms": round(report.wall_ms, 3),
+        "catchup_records": len(records.get("catchup", ())),
+        "app_log_records": len(records.get("app_log", ())),
+        **pipeline_counters(collab.servers.values(), tracer=collab.tracer),
     }
     return row, collab
 

@@ -283,6 +283,80 @@ def bench_health_overhead(quick: bool = False) -> List[Dict]:
     return results
 
 
+def bench_storage(quick: bool = False) -> List[Dict]:
+    """Durable-state-plane costs: WAL append (both backends), snapshot +
+    compaction, and the E12 crash-recovery drill end to end.
+
+    The append benches go through the :class:`~repro.storage.StateJournal`
+    facade — the exact call every journaled plane mutation makes — so the
+    ``storage/append_*`` numbers ARE the per-mutation tax the durable
+    state plane adds to the hot path.  The in-memory backend is the
+    deployment default; the JSONL numbers price real disk durability.
+    """
+    import tempfile
+
+    from repro.storage import (
+        JsonlBackend,
+        MemoryBackend,
+        StateJournal,
+    )
+
+    repeat = 3 if quick else 7
+    number = 200 if quick else 2000
+    results = []
+
+    # In-memory append: the default deployment's per-mutation cost.
+    mem_journal = StateJournal(MemoryBackend(), snapshot_every=0)
+    mem_journal.register_plane(
+        "bench", snapshot=dict, restore=lambda s: None,
+        apply=lambda e, d, at: None)
+    payload = {"table": "session", "record_id": 1, "owner": "bench",
+               "data": {"app_id": "d0#a1", "kind": "command"}}
+    results.append(_entry(
+        "storage/append_memory",
+        time_op(lambda: mem_journal.append("db.insert", payload),
+                repeat=repeat, number=number),
+        note="StateJournal.append, in-memory backend (default)"))
+
+    with tempfile.TemporaryDirectory(prefix="bench-storage-") as tmp:
+        disk_journal = StateJournal(JsonlBackend(tmp), snapshot_every=0)
+        disk_journal.register_plane(
+            "bench", snapshot=dict, restore=lambda s: None,
+            apply=lambda e, d, at: None)
+        results.append(_entry(
+            "storage/append_jsonl",
+            time_op(lambda: disk_journal.append("db.insert", payload),
+                    repeat=repeat, number=max(1, number // 4)),
+            note="StateJournal.append, JSONL backend, flush per record"))
+
+        # Snapshot + compaction over a WAL tail of fixed length.
+        tail = 100 if quick else 500
+        state = {"bench": {"rows": list(range(64))}}
+
+        def snap_cycle():
+            for i in range(tail):
+                disk_journal.append("db.insert", payload)
+            disk_journal.take_snapshot()
+            return state
+
+        results.append(_entry(
+            f"storage/snapshot_compact_tail{tail}",
+            time_op(snap_cycle, repeat=repeat, number=1), ops=tail,
+            note=f"append {tail} records + snapshot + compact (JSONL)"))
+
+    from repro.bench.scenarios import run_recovery_drill
+
+    rounds = 1 if quick else 3
+    best, row = _best_of(
+        lambda: run_recovery_drill()[0], rounds)
+    results.append(_entry(
+        "e2e/E12_recovery_drill", best,
+        note=f"{row['recovered_sessions']} sessions recovered, "
+             f"{row['wal_replayed']} replayed, "
+             f"recovery {row['recovery_wall_ms']:.2f}ms"))
+    return results
+
+
 # ---------------------------------------------------------------------------
 # suite + report
 # ---------------------------------------------------------------------------
@@ -292,7 +366,7 @@ def run_suite(quick: bool = False) -> Dict:
     benchmarks: List[Dict] = []
     for group in (bench_wire, bench_network, bench_broadcast,
                   bench_end_to_end, bench_health_overhead,
-                  bench_directory):
+                  bench_directory, bench_storage):
         benchmarks.extend(group(quick=quick))
     return {
         "schema": SCHEMA,

@@ -86,6 +86,17 @@ def _exp_e11(quick: bool) -> Tuple[List[dict], List[str]]:
                   "shard_load_max_over_mean"]
 
 
+def _exp_e12(quick: bool) -> Tuple[List[dict], List[str]]:
+    from repro.bench.scenarios import run_recovery_drill
+    n_commands = 10 if quick else 25
+    row, collab = run_recovery_drill(n_commands=n_commands)
+    collab.stop()
+    return [row], ["victim", "pre_sessions", "recovered_sessions",
+                   "lock_preserved", "groups_preserved",
+                   "recovered_interactions", "wal_replayed",
+                   "catchup_records", "recovery_wall_ms"]
+
+
 EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
     "E1": ("applications per server (>40 supported)", _exp_e1),
     "E2": ("HTTP clients per server (~20, then degradation)", _exp_e2),
@@ -94,6 +105,8 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
     "E6": ("steering latency, local vs remote application", _exp_e6),
     "E11": ("sharded directory: flat shard load, p99 independent of "
             "fleet size", _exp_e11),
+    "E12": ("kill → restart → recover sessions, locks, archive from "
+            "snapshot + WAL", _exp_e12),
 }
 
 

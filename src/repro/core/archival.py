@@ -96,7 +96,7 @@ class SessionArchive:
         tbl = self.db.table(INTERACTION_TABLE)
         if app_id is None:
             return len(tbl)
-        return sum(1 for r in tbl._records if r.data["app_id"] == app_id)
+        return tbl.count(lambda r: r.data["app_id"] == app_id)
 
     @staticmethod
     def _export(record: Record) -> dict:

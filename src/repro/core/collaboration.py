@@ -17,10 +17,10 @@ ablation A2 measures by bounding them.
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.sim import Store
+from repro.storage import NULL_JOURNAL
 from repro.wire import Message, freeze_size
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -63,14 +63,16 @@ class CollaborationManager:
     """
 
     def __init__(self, sim: "Simulator", server_name: str,
-                 buffer_capacity: float = float("inf")) -> None:
+                 buffer_capacity: float = float("inf"),
+                 journal=NULL_JOURNAL) -> None:
         self.sim = sim
         self.server_name = server_name
         self.buffer_capacity = buffer_capacity
+        self.journal = journal
         self._sessions: Dict[str, ClientSession] = {}
         #: (app_id, group) → set of client_ids
         self._groups: Dict[Tuple[str, str], Set[str]] = {}
-        self._client_seq = itertools.count(1)
+        self._client_count = 0
         #: total messages pushed into client buffers
         self.delivered = 0
         #: total messages dropped on full buffers
@@ -83,10 +85,27 @@ class CollaborationManager:
 
     # -- sessions ------------------------------------------------------------
     def create_session(self, user: str) -> ClientSession:
-        client_id = f"{self.server_name}:c{next(self._client_seq)}"
+        self._client_count += 1
+        client_id = f"{self.server_name}:c{self._client_count}"
         session = ClientSession(self.sim, client_id, user,
                                 self.buffer_capacity)
         self._sessions[client_id] = session
+        self.journal.append("collab.session", {
+            "client_id": client_id, "user": user,
+            "seq": self._client_count})
+        return session
+
+    def _restore_session(self, client_id: str, user: str,
+                         seq: int = 0) -> ClientSession:
+        """Rebuild a session under its original id (recovery path).
+
+        The FIFO buffer comes back empty — poll state is transient; a
+        recovered client catches up through the session archive instead.
+        """
+        session = ClientSession(self.sim, client_id, user,
+                                self.buffer_capacity)
+        self._sessions[client_id] = session
+        self._client_count = max(self._client_count, seq)
         return session
 
     def session(self, client_id: str) -> ClientSession:
@@ -108,6 +127,7 @@ class CollaborationManager:
                 members.discard(client_id)
                 if not members:
                     del self._groups[key]
+        self.journal.append("collab.drop", {"client_id": client_id})
         return session
 
     def session_count(self) -> int:
@@ -119,12 +139,16 @@ class CollaborationManager:
         session = self.session(client_id)
         session.apps.add(app_id)
         self._join(session, app_id, DEFAULT_GROUP)
+        self.journal.append("collab.subscribe",
+                            {"client_id": client_id, "app_id": app_id})
 
     def unsubscribe(self, client_id: str, app_id: str) -> None:
         session = self.session(client_id)
         session.apps.discard(app_id)
         for key in [k for k in session.groups if k[0] == app_id]:
             self._leave(session, *key)
+        self.journal.append("collab.unsubscribe",
+                            {"client_id": client_id, "app_id": app_id})
 
     def join_group(self, client_id: str, app_id: str, group: str) -> None:
         """Join (creating if needed) a sub-group of an application group."""
@@ -133,12 +157,16 @@ class CollaborationManager:
             raise CollaborationError(
                 f"{client_id} is not subscribed to {app_id}")
         self._join(session, app_id, group)
+        self.journal.append("collab.join", {
+            "client_id": client_id, "app_id": app_id, "group": group})
 
     def leave_group(self, client_id: str, app_id: str, group: str) -> None:
         if group == DEFAULT_GROUP:
             raise CollaborationError(
                 "leave the default group by unsubscribing from the app")
         self._leave(self.session(client_id), app_id, group)
+        self.journal.append("collab.leave", {
+            "client_id": client_id, "app_id": app_id, "group": group})
 
     def _join(self, session: ClientSession, app_id: str, group: str) -> None:
         key = (app_id, group)
@@ -165,6 +193,57 @@ class CollaborationManager:
     def set_collaboration(self, client_id: str, enabled: bool) -> None:
         """Enable/disable sharing of this client's requests and responses."""
         self.session(client_id).collab_enabled = bool(enabled)
+        self.journal.append("collab.mode", {
+            "client_id": client_id, "enabled": bool(enabled)})
+
+    # -- durable state plane hooks -------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serialize sessions + memberships to a JSON-safe document.
+
+        FIFO buffers and remote-app summaries are deliberately absent:
+        both are transient poll state, re-established by the client after
+        recovery (the archive serves the catch-up).
+        """
+        return {
+            "seq": self._client_count,
+            "sessions": [{
+                "client_id": s.client_id,
+                "user": s.user,
+                "collab_enabled": s.collab_enabled,
+                "apps": sorted(s.apps),
+                "groups": sorted(list(k) for k in s.groups),
+            } for s in self._sessions.values()],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild sessions + memberships from :meth:`snapshot_state`."""
+        self._client_count = max(self._client_count,
+                                 state.get("seq", 0))
+        for doc in state.get("sessions", ()):
+            session = self._restore_session(doc["client_id"], doc["user"])
+            session.collab_enabled = doc.get("collab_enabled", True)
+            session.apps = set(doc.get("apps", ()))
+            for app_id, group in doc.get("groups", ()):
+                self._join(session, app_id, group)
+
+    def apply_event(self, event: str, data: dict, at: float) -> None:
+        """Replay one journaled mutation (public paths; the journal's
+        ``recovering`` flag keeps them from re-journaling)."""
+        if event == "session":
+            self._restore_session(data["client_id"], data["user"],
+                                  data.get("seq", 0))
+        elif event == "drop":
+            self.drop_session(data["client_id"])
+        elif event == "subscribe":
+            self.subscribe(data["client_id"], data["app_id"])
+        elif event == "unsubscribe":
+            self.unsubscribe(data["client_id"], data["app_id"])
+        elif event == "join":
+            self.join_group(data["client_id"], data["app_id"], data["group"])
+        elif event == "leave":
+            self.leave_group(data["client_id"], data["app_id"], data["group"])
+        elif event == "mode":
+            self.set_collaboration(data["client_id"], data["enabled"])
 
     # -- fan-out ------------------------------------------------------------
     def push_to_client(self, client_id: str, msg: Message) -> bool:

@@ -163,10 +163,14 @@ class CorbaProxyServant:
     def subscribe_server(self, server_name: str) -> bool:
         """A peer asks to receive this application's updates."""
         self._proxy().subscribe_server(server_name)
+        self.server.journal.append("proxy.peer_sub", {
+            "app_id": self.app_id, "server": server_name})
         return True
 
     def unsubscribe_server(self, server_name: str) -> bool:
         self._proxy().unsubscribe_server(server_name)
+        self.server.journal.append("proxy.peer_unsub", {
+            "app_id": self.app_id, "server": server_name})
         return True
 
     # -- group messaging across servers ---------------------------------------
@@ -175,3 +179,29 @@ class CorbaProxyServant:
         """Fan a group message out from the application's home server."""
         return self.server.publish_local_group(
             self.app_id, group, msg, exclude=exclude or None)
+
+    # -- archival (§5.2.5: the home server owns the logs) ----------------------
+    def replay_interactions(self, user: str, since: float = 0.0,
+                            limit: Optional[int] = None):
+        """A remote user's readable interaction history (relayed read)."""
+        records = self.server.archive.replay_interactions(
+            self.app_id, user, since, limit)
+        yield from self.server.host.use_cpu(
+            self.server.costs.log_read_cost * max(1, len(records)))
+        return records
+
+    def replay_app_log(self, user: str, since: float = 0.0,
+                       limit: Optional[int] = None):
+        """The application's archived history, served to a remote server."""
+        records = self.server.archive.replay_app_log(
+            self.app_id, user, since, limit)
+        yield from self.server.host.use_cpu(
+            self.server.costs.log_read_cost * max(1, len(records)))
+        return records
+
+    def latecomer_catchup(self, user: str, n: int = 20):
+        """Recent interactions for a remote late joiner."""
+        records = self.server.archive.latecomer_catchup(self.app_id, user, n)
+        yield from self.server.host.use_cpu(
+            self.server.costs.log_read_cost * max(1, len(records)))
+        return records

@@ -19,7 +19,6 @@ the reason one server supports >40 applications but only ~20 HTTP clients).
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.proxy import ApplicationProxy
@@ -54,7 +53,7 @@ class DaemonService:
         self.sim = server.sim
         self.port = port
         self.endpoint = server.host.bind(port)
-        self._app_seq = itertools.count(1)
+        self._app_count = 0
         if pipeline is None:
             # Late import: repro.pipeline.interceptors imports the core
             # managers, which import this module.  The default chain must
@@ -77,7 +76,20 @@ class DaemonService:
 
     def next_app_id(self) -> str:
         """Mint via the process-wide Placement (§5.2.1 by default)."""
-        return make_app_id(self.server.name, next(self._app_seq))
+        self._app_count += 1
+        self.server.journal.append("daemon.seq", {"n": self._app_count})
+        return make_app_id(self.server.name, self._app_count)
+
+    # -- durable state plane hooks ----------------------------------------
+    def seq_state(self) -> dict:
+        return {"n": self._app_count}
+
+    def restore_seq(self, state: dict) -> None:
+        self._app_count = max(self._app_count, state.get("n", 0))
+
+    def apply_seq_event(self, event: str, data: dict, at: float) -> None:
+        if event == "seq":
+            self._app_count = max(self._app_count, data.get("n", 0))
 
     def forward_command(self, app_host: str, app_port: int,
                         cmd: CommandMessage) -> None:

@@ -9,20 +9,43 @@ user on the application's ACL.
 
 We keep exactly that model: named tables of append-only records with an
 ``owner`` and a ``readers`` set enforced on query.
+
+When wired to a :class:`~repro.storage.StateJournal`, every insert is
+journaled as a ``"db.insert"`` record and the whole store serializes to /
+rebuilds from a snapshot document, so a restarted server recovers its
+archive from ``snapshot + WAL tail``.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+from repro.storage import NULL_JOURNAL
 
 
 class DatabaseError(Exception):
     """Unknown table, or a read denied by record ownership."""
 
 
-_record_seq = itertools.count(1)
+class _Sequence:
+    """A record-id counter that can skip forward during recovery."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def take(self) -> int:
+        n = self._next
+        self._next += 1
+        return n
+
+    def advance_past(self, n: int) -> None:
+        """Never hand out an id at or below ``n`` again."""
+        if n >= self._next:
+            self._next = n + 1
+
+
+_record_seq = _Sequence(1)
 
 
 @dataclass
@@ -43,22 +66,39 @@ class Record:
 class Table:
     """An append-only table of records."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, journal=NULL_JOURNAL) -> None:
         self.name = name
+        self.journal = journal
         self._records: List[Record] = []
 
     def insert(self, owner: str, data: dict, created_at: float,
                readers: Optional[Iterable[str]] = None) -> Record:
-        rec = Record(next(_record_seq), owner, created_at, dict(data),
+        rec = Record(_record_seq.take(), owner, created_at, dict(data),
                      set(readers or ()))
         self._records.append(rec)
+        self.journal.append("db.insert", {
+            "table": self.name, "record_id": rec.record_id,
+            "owner": rec.owner, "created_at": rec.created_at,
+            "data": dict(rec.data), "readers": sorted(rec.readers)})
+        return rec
+
+    def restore(self, record_id: int, owner: str, data: dict,
+                created_at: float,
+                readers: Optional[Iterable[str]] = None) -> Record:
+        """Re-insert a journaled record under its original id."""
+        rec = Record(record_id, owner, created_at, dict(data),
+                     set(readers or ()))
+        self._records.append(rec)
+        _record_seq.advance_past(record_id)
         return rec
 
     def select(self, user: str,
                predicate: Optional[Callable[[Record], bool]] = None,
                limit: Optional[int] = None) -> List[Record]:
         """Records readable by ``user`` matching ``predicate`` (in order)."""
-        out = []
+        out: List[Record] = []
+        if limit is not None and limit <= 0:
+            return out
         for rec in self._records:
             if not rec.readable_by(user):
                 continue
@@ -72,10 +112,22 @@ class Table:
     def tail(self, user: str, n: int,
              predicate: Optional[Callable[[Record], bool]] = None) -> List[Record]:
         """The last ``n`` readable records matching ``predicate``."""
+        if n <= 0:
+            return []
         out = [r for r in self._records
                if r.readable_by(user)
                and (predicate is None or predicate(r))]
         return out[-n:]
+
+    def count(self, predicate: Optional[Callable[[Record], bool]] = None) -> int:
+        """How many records the table holds, regardless of ownership.
+
+        A bookkeeping query (no ACL filter) for components that own the
+        table's contents — counting is not reading record data.
+        """
+        if predicate is None:
+            return len(self._records)
+        return sum(1 for r in self._records if predicate(r))
 
     def __len__(self) -> int:
         return len(self._records)
@@ -84,15 +136,40 @@ class Table:
 class Database:
     """Named tables for one server."""
 
-    def __init__(self) -> None:
+    def __init__(self, journal=NULL_JOURNAL) -> None:
+        self.journal = journal
         self._tables: Dict[str, Table] = {}
 
     def table(self, name: str) -> Table:
         """Get (creating on first use) a table."""
         tbl = self._tables.get(name)
         if tbl is None:
-            tbl = self._tables[name] = Table(name)
+            tbl = self._tables[name] = Table(name, journal=self.journal)
         return tbl
 
     def table_names(self) -> List[str]:
         return sorted(self._tables)
+
+    # -- durable state plane hooks --------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serialize every table to a JSON-safe document."""
+        return {name: [{"record_id": r.record_id, "owner": r.owner,
+                        "created_at": r.created_at, "data": dict(r.data),
+                        "readers": sorted(r.readers)}
+                       for r in tbl._records]
+                for name, tbl in self._tables.items()}
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild every table from a :meth:`snapshot_state` document."""
+        for name, rows in state.items():
+            tbl = self.table(name)
+            for row in rows:
+                tbl.restore(row["record_id"], row["owner"], row["data"],
+                            row["created_at"], row.get("readers"))
+
+    def apply_event(self, event: str, data: dict, at: float) -> None:
+        """Replay one journaled mutation (WAL tail during recovery)."""
+        if event == "insert":
+            self.table(data["table"]).restore(
+                data["record_id"], data["owner"], data["data"],
+                data["created_at"], data.get("readers"))

@@ -49,6 +49,14 @@ class Collaboratory:
         #: registry references (set by build_collaboratory)
         self.naming_ref = None
         self.trader_ref = None
+        #: server name → its durable storage backend (set by
+        #: build_collaboratory) — the medium a crash does not erase,
+        #: handed back to the replacement server in :meth:`restart_server`
+        self.storage: Dict[str, object] = {}
+        #: server name → the DiscoverServer kwargs it was built with
+        #: (minus the backend), so a restart reconstructs an identical
+        #: server on the same host
+        self._server_kwargs: Dict[str, dict] = {}
         self._app_host_rr = {d.name: itertools.cycle(d.app_hosts or
                                                      [d.server])
                              for d in domains}
@@ -102,6 +110,7 @@ class Collaboratory:
                               server.federation_metrics)
             registry.register(f"directory[{name}]",
                               server.directory_metrics)
+            registry.register(f"storage[{name}]", server.storage_metrics)
             registry.register(f"health[{name}]", server.health)
         if self.directory is not None:
             registry.register("directory_plane", self.directory)
@@ -127,6 +136,26 @@ class Collaboratory:
         for server in self.servers.values():
             server.stop()
 
+    # -- crash recovery (E12) ------------------------------------------------
+    def restart_server(self, name: str):
+        """Replace a stopped server with a fresh one on the same host and
+        recover its planes from the surviving storage backend.
+
+        Returns ``(server, report)`` — the replacement and its
+        :class:`~repro.storage.RecoveryReport`.  The caller re-runs
+        :meth:`run_bootstrap` (or drives :meth:`bootstrap`) afterwards so
+        the replacement rejoins the peer mesh.
+        """
+        old = self.servers[name]
+        kwargs = self._server_kwargs.get(name, {})
+        server = DiscoverServer(old.host, storage=self.storage.get(name),
+                                **kwargs)
+        if self.directory is not None:
+            server.attach_directory(self.directory.client_for(server))
+        self.servers[name] = server
+        report = server.recover()
+        return server, report
+
 
 def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
                         client_hosts_per_domain: int = 4,
@@ -148,6 +177,8 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
                         health_gossip_period: Optional[float] = None,
                         health_enabled: bool = True,
                         log_sink=None,
+                        storage_backend_factory=None,
+                        storage_snapshot_every: Optional[int] = None,
                         sim: Optional[Simulator] = None) -> Collaboratory:
     """Build a ready-to-bootstrap multi-domain collaboratory.
 
@@ -155,6 +186,12 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
     :class:`~repro.obs.Tracer` (``"always"``, ``"off"``, or int N for
     1-in-N root sampling).  Tracing is zero-event bookkeeping — it never
     changes virtual time or wire sizes, whatever the knob says.
+
+    ``storage_backend_factory`` maps a server name to its durable
+    :class:`~repro.storage.StorageBackend` (default: a fresh
+    :class:`~repro.storage.MemoryBackend` per server, so every deployment
+    is restartable via :meth:`Collaboratory.restart_server`).
+    ``storage_snapshot_every`` overrides the journal's snapshot cadence.
     """
     sim = sim or Simulator()
     spec = spec or LinkSpec()
@@ -196,10 +233,19 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
                 shard_orb = Orb(shard_host, cost_model=costs, tracer=tracer)
                 directory.add_shard(shard_host.name, shard_orb)
 
+    from repro.storage import DEFAULT_SNAPSHOT_EVERY, MemoryBackend
+    snapshot_every = (DEFAULT_SNAPSHOT_EVERY if storage_snapshot_every is None
+                      else storage_snapshot_every)
     servers: Dict[str, DiscoverServer] = {}
+    backends: Dict[str, object] = {}
+    server_kwargs: Dict[str, dict] = {}
     for domain in domains:
-        server = DiscoverServer(
-            domain.server, domain=domain.name, cost_model=costs,
+        name = domain.server.name
+        backend = (storage_backend_factory(name)
+                   if storage_backend_factory is not None
+                   else MemoryBackend())
+        kwargs = dict(
+            domain=domain.name, cost_model=costs,
             naming_ref=naming_ref, trader_ref=trader_ref,
             client_buffer_capacity=client_buffer_capacity,
             update_mode=update_mode,
@@ -209,16 +255,22 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
             health_period=health_period,
             health_gossip_period=health_gossip_period,
             health_enabled=health_enabled,
-            log_sink=log_sink)
+            log_sink=log_sink,
+            storage_snapshot_every=snapshot_every)
+        server = DiscoverServer(domain.server, storage=backend, **kwargs)
         if directory is not None:
             server.attach_directory(directory.client_for(server))
         servers[server.name] = server
+        backends[server.name] = backend
+        server_kwargs[server.name] = kwargs
 
     collab = Collaboratory(sim, net, domains, servers, registry_orb, naming,
                            trader, tracer=tracer)
     collab.directory = directory
     collab.naming_ref = naming_ref
     collab.trader_ref = trader_ref
+    collab.storage = backends
+    collab._server_kwargs = server_kwargs
     return collab
 
 

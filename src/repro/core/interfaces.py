@@ -59,4 +59,10 @@ CORBA_PROXY = Interface("CorbaProxy", (
               doc="remove a peer's update subscription"),
     Operation("publish_group_message", ("group", "msg"),
               doc="fan a group message out from the home server"),
+    Operation("replay_interactions", ("user", "since", "limit"),
+              doc="archived client↔app interactions from the home server"),
+    Operation("replay_app_log", ("user", "since", "limit"),
+              doc="the application's archived history from the home server"),
+    Operation("latecomer_catchup", ("user", "n"),
+              doc="recent group interactions for a late joiner (§5.2.5)"),
 ))

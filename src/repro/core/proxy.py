@@ -107,6 +107,24 @@ class ApplicationProxy:
     def unsubscribe_server(self, server_name: str) -> None:
         self.remote_subscribers.discard(server_name)
 
+    def descriptor(self) -> dict:
+        """JSON-safe construction record for the durable state plane.
+
+        Captures what it takes to rebuild this proxy at the same server
+        after a crash — identity, endpoint, ACL.  Runtime state (phase,
+        pending commands, update ring) is transient: the application's
+        next phase/update events refresh it.
+        """
+        return {
+            "app_id": self.app_id,
+            "app_name": self.app_name,
+            "interface": dict(self.interface),
+            "acl": dict(self.acl),
+            "app_host": self.app_host,
+            "app_port": self.app_port,
+            "owner": self.owner,
+        }
+
     def summary(self, privilege: Optional[str] = None) -> dict:
         """Wire-safe descriptor for application listings."""
         info = {

@@ -36,11 +36,23 @@ from repro.core.security import (
 from repro.core.interfaces import CORBA_PROXY, DISCOVER_CORBA_SERVER
 from repro.federation import AppRouter, PeerRegistry, SubscriptionManager
 from repro.health import HealthMonitor
-from repro.metrics import DirectoryMetrics, FederationMetrics, PipelineMetrics
+from repro.metrics import (
+    DirectoryMetrics,
+    FederationMetrics,
+    PipelineMetrics,
+    StorageMetrics,
+)
 from repro.net.costs import CostModel
 from repro.pipeline.core import PLANE_CHANNEL, PLANE_HTTP, PLANE_ORB, Pipeline
 from repro.orb import ObjectRef, Orb, OrbError, ServiceOffer
 from repro.orb.idl import validate_servant
+from repro.storage import (
+    DEFAULT_SNAPSHOT_EVERY,
+    MemoryBackend,
+    RecoveryReport,
+    StateJournal,
+    StorageBackend,
+)
 from repro.web import ServletContainer
 from repro.wire import (
     CommandMessage,
@@ -74,7 +86,9 @@ class DiscoverServer:
                  health_period: float = 0.5,
                  health_gossip_period: Optional[float] = None,
                  health_enabled: bool = True,
-                 log_sink=None) -> None:
+                 log_sink=None,
+                 storage: Optional[StorageBackend] = None,
+                 storage_snapshot_every: int = DEFAULT_SNAPSHOT_EVERY) -> None:
         self.host = host
         self.sim = host.sim
         self.name = host.name
@@ -105,12 +119,25 @@ class DiscoverServer:
         self.remote_access = remote_access
         self._schedules: Dict[str, Any] = {}
 
+        # -- durable state plane (§ DESIGN 4g) ------------------------------
+        #: WAL + snapshot journal every stateful plane writes through; the
+        #: backend outlives this server object, so a replacement server
+        #: handed the same backend rebuilds the planes via :meth:`recover`
+        self.storage_metrics = StorageMetrics()
+        self.journal = StateJournal(
+            storage if storage is not None else MemoryBackend(),
+            clock=lambda: self.sim.now,
+            snapshot_every=storage_snapshot_every,
+            metrics=self.storage_metrics)
+
         # -- components ---------------------------------------------------
         self.security = SecurityManager()
-        self.locks = LockManager(on_grant=self._on_lock_grant)
+        self.locks = LockManager(on_grant=self._on_lock_grant,
+                                 journal=self.journal)
         self.collab = CollaborationManager(
-            self.sim, self.name, buffer_capacity=client_buffer_capacity)
-        self.db = Database()
+            self.sim, self.name, buffer_capacity=client_buffer_capacity,
+            journal=self.journal)
+        self.db = Database(journal=self.journal)
         self.archive = SessionArchive(self.sim, self.db)
         #: §6.3 resource accounting + access policies — enforced at every
         #: plane's front door by its pipeline's admission interceptor
@@ -182,6 +209,26 @@ class DiscoverServer:
             self.corba_servant, key="DiscoverCorbaServer")
         handlers.mount_all(self)
 
+        # -- durable plane registration (replay order = registration order:
+        # the daemon's id sequence first, then records, proxies, sessions,
+        # locks — matching the dependency order of live mutations) ---------
+        self.journal.register_plane(
+            "daemon", snapshot=self.daemon.seq_state,
+            restore=self.daemon.restore_seq,
+            apply=self.daemon.apply_seq_event)
+        self.journal.register_plane(
+            "db", snapshot=self.db.snapshot_state,
+            restore=self.db.restore_state, apply=self.db.apply_event)
+        self.journal.register_plane(
+            "proxy", snapshot=self._proxy_plane_snapshot,
+            restore=self._proxy_plane_restore, apply=self._proxy_plane_apply)
+        self.journal.register_plane(
+            "collab", snapshot=self.collab.snapshot_state,
+            restore=self.collab.restore_state, apply=self.collab.apply_event)
+        self.journal.register_plane(
+            "locks", snapshot=self.locks.snapshot_state,
+            restore=self.locks.restore_state, apply=self.locks.apply_event)
+
     # ------------------------------------------------------------------
     # peer network
     # ------------------------------------------------------------------
@@ -221,12 +268,19 @@ class DiscoverServer:
     # application-side events (invoked by the daemon)
     # ------------------------------------------------------------------
     def on_app_register(self, proxy: ApplicationProxy) -> None:
+        self._install_proxy(proxy)
+        self.journal.append("proxy.register", proxy.descriptor())
+
+    def _install_proxy(self, proxy: ApplicationProxy) -> None:
+        """Wire one application proxy into every plane (register + recover)."""
         self.local_proxies[proxy.app_id] = proxy
         self.security.register_app_acl(proxy.app_id, proxy.acl)
         servant = CorbaProxyServant(self, proxy.app_id)
         validate_servant(servant, CORBA_PROXY)
         ref = self.orb.activate(servant, key=f"CorbaProxy/{proxy.app_id}")
         self.corba_proxy_refs[proxy.app_id] = ref
+        if not proxy.active:
+            return  # recovered-but-stopped app: queryable, never announced
         # Bind in the network-wide naming service (asynchronously —
         # registration must not block on a WAN round trip).
         if self.naming_ref is not None:
@@ -236,6 +290,50 @@ class DiscoverServer:
         if self.directory is not None:
             self.sim.spawn(self._publish_app_to_directory(proxy),
                            name=f"dir-{proxy.app_id}")
+
+    def _restore_proxy(self, desc: dict, active: bool = True,
+                       remote_subscribers=()) -> ApplicationProxy:
+        """Rebuild a proxy from its journaled descriptor (recovery path).
+
+        Runtime state (phase, pending commands, update ring) starts fresh;
+        the application's next phase/update events repopulate it.
+        """
+        proxy = ApplicationProxy(
+            desc["app_id"], desc["app_name"], desc["interface"],
+            desc["acl"], app_host=desc["app_host"],
+            app_port=desc["app_port"], owner=desc["owner"],
+            forward=self.daemon.forward_command)
+        proxy.active = active
+        proxy.remote_subscribers = set(remote_subscribers)
+        self._install_proxy(proxy)
+        return proxy
+
+    # -- proxy plane hooks (durable state plane) ------------------------
+    def _proxy_plane_snapshot(self) -> list:
+        return [{"descriptor": p.descriptor(), "active": p.active,
+                 "remote_subscribers": sorted(p.remote_subscribers)}
+                for p in self.local_proxies.values()]
+
+    def _proxy_plane_restore(self, state: list) -> None:
+        for doc in state:
+            self._restore_proxy(doc["descriptor"],
+                                active=doc.get("active", True),
+                                remote_subscribers=doc.get(
+                                    "remote_subscribers", ()))
+
+    def _proxy_plane_apply(self, event: str, data: dict, at: float) -> None:
+        if event == "register":
+            self._restore_proxy(data)
+            return
+        proxy = self.local_proxies.get(data.get("app_id"))
+        if proxy is None:
+            return
+        if event == "stop":
+            proxy.mark_stopped()
+        elif event == "peer_sub":
+            proxy.subscribe_server(data["server"])
+        elif event == "peer_unsub":
+            proxy.unsubscribe_server(data["server"])
 
     def _bind_app(self, app_id: str, ref: ObjectRef):
         try:
@@ -298,6 +396,7 @@ class DiscoverServer:
         if proxy is None:
             return
         proxy.mark_stopped()
+        self.journal.append("proxy.stop", {"app_id": app_id})
         if self.directory is not None:
             self.sim.spawn(self._withdraw_from_directory(app_id),
                            name=f"undir-{app_id}")
@@ -649,6 +748,17 @@ class DiscoverServer:
         if cost > 0:
             self.sim.spawn(self.host.use_cpu(cost), name="async-cpu")
 
+    def recover(self) -> RecoveryReport:
+        """Rebuild every stateful plane from the backend's snapshot + WAL
+        tail (a restarted server's first call, before it serves traffic)."""
+        report = self.journal.recover()
+        self.log.event("server.recovered",
+                       snapshot_lsn=report.snapshot_lsn,
+                       last_lsn=report.last_lsn,
+                       replayed=report.replayed,
+                       planes=dict(report.planes))
+        return report
+
     def metrics_registry(self):
         """This server's own snapshot surface (the ``/status`` servlet's
         data source; deployments aggregate across servers instead)."""
@@ -658,6 +768,7 @@ class DiscoverServer:
         registry.register(f"federation[{self.name}]",
                           self.federation_metrics)
         registry.register(f"directory[{self.name}]", self.directory_metrics)
+        registry.register(f"storage[{self.name}]", self.storage_metrics)
         registry.register(f"health[{self.name}]", self.health)
         registry.register(f"log[{self.name}]", self.log)
         return registry

@@ -86,8 +86,10 @@ class DirectoryClient:
             return None
         stub = self._stubs.get(shard)
         if stub is not None and stub.ref is ref:
+            self._count("stub_cache_hits")
             self._stubs.move_to_end(shard)
             return stub
+        self._count("stub_cache_misses")
         stub = make_stub(self.orb, ref, DIRECTORY_SHARD,
                          timeout=self.call_timeout)
         self._stubs[shard] = stub

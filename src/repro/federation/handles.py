@@ -41,7 +41,7 @@ class AppHandle:
         self.server = server
         self.app_id = app_id
 
-    # -- archival (always served from the local archive) -------------------
+    # -- archival (served from the home server's archive, §5.2.5) ----------
     def replay_interactions(self, user: str, since: float = 0.0,
                             limit: Optional[int] = None):
         """Generator: a user's replayable interaction history (§5.2.5)."""
@@ -236,3 +236,16 @@ class RemoteAppHandle(AppHandle):
     def publish_group(self, group: str, msg, exclude: Optional[str] = None):
         return (yield from self._relay("publish_group_message", group, msg,
                                        exclude=exclude or ""))
+
+    # -- archival (the home server owns the logs; relay the read) ----------
+    def replay_interactions(self, user: str, since: float = 0.0,
+                            limit: Optional[int] = None):
+        return (yield from self._relay("replay_interactions", user, since,
+                                       limit))
+
+    def replay_app_log(self, user: str, since: float = 0.0,
+                       limit: Optional[int] = None):
+        return (yield from self._relay("replay_app_log", user, since, limit))
+
+    def latecomer_catchup(self, user: str, n: int = 20):
+        return (yield from self._relay("latecomer_catchup", user, n))

@@ -9,6 +9,8 @@
   lifecycle, and per-app staleness counters fed by the federation layer.
 - :class:`DirectoryMetrics` — directory-plane read/write counters, replica
   failovers, and lookup latency fed by the sharded directory client.
+- :class:`StorageMetrics` — WAL append / snapshot / recovery counters fed
+  by the durable state plane's journal.
 - :class:`Reservoir` — bounded sample store (exact count/mean/min/max,
   reservoir-sampled percentiles) backing the long-running collectors.
 - :class:`SummaryStats` — the reduction product, printable as table rows.
@@ -19,6 +21,7 @@ from repro.metrics.collectors import (
     FederationMetrics,
     LatencyRecorder,
     PipelineMetrics,
+    StorageMetrics,
     ThroughputMeter,
 )
 from repro.metrics.stats import Reservoir, SummaryStats, summarize
@@ -29,6 +32,7 @@ __all__ = [
     "LatencyRecorder",
     "PipelineMetrics",
     "Reservoir",
+    "StorageMetrics",
     "SummaryStats",
     "ThroughputMeter",
     "summarize",

@@ -220,6 +220,38 @@ class DirectoryMetrics:
         self._read_latency = Reservoir()
 
 
+class StorageMetrics:
+    """Counters for one server's durable state plane (:mod:`repro.storage`).
+
+    Fed by the server's :class:`~repro.storage.StateJournal` —
+    ``wal_appends`` (journaled mutations), ``snapshots`` /
+    ``records_compacted`` (snapshot + compaction passes),
+    ``recoveries`` / ``records_replayed`` (restart recovery), with
+    ``last_recovery_ms`` the real (wall) milliseconds the most recent
+    :meth:`~repro.storage.StateJournal.recover` took — reported in the
+    E12 recovery-time table, never asserted bit-for-bit.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+        self.last_recovery_ms = 0.0
+
+    def count(self, name: str, n: int = 1) -> None:
+        self._counters[name] += n
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        out = dict(self._counters)
+        out["last_recovery_ms"] = self.last_recovery_ms
+        return out
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self.last_recovery_ms = 0.0
+
+
 class ThroughputMeter:
     """Counts events and reports rates over the elapsed virtual time."""
 

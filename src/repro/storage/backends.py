@@ -1,0 +1,162 @@
+"""Storage media for the durable state plane.
+
+A backend is dumb on purpose: it persists an ordered list of WAL entries
+and one snapshot document, both plain JSON-safe dicts.  Everything with
+semantics — LSNs, compaction policy, plane dispatch — lives above it in
+:mod:`repro.storage.wal` / :mod:`repro.storage.journal`, so swapping the
+medium (heap, JSONL directory, eventually a real database) never touches
+recovery logic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+
+class StorageError(Exception):
+    """The medium rejected an operation (corrupt file, closed backend)."""
+
+
+class StorageBackend:
+    """Interface every storage medium implements.
+
+    The WAL region is append-only between compactions; ``reset_wal``
+    atomically replaces it (the compaction rewrite).  The snapshot slot
+    holds at most one document and is atomically replaced on save.
+    """
+
+    # -- WAL region -----------------------------------------------------
+    def append(self, entry: Dict) -> None:
+        raise NotImplementedError
+
+    def entries(self) -> List[Dict]:
+        raise NotImplementedError
+
+    def reset_wal(self, entries: Iterable[Dict]) -> None:
+        raise NotImplementedError
+
+    def wal_len(self) -> int:
+        return len(self.entries())
+
+    # -- snapshot slot --------------------------------------------------
+    def save_snapshot(self, snapshot: Dict) -> None:
+        raise NotImplementedError
+
+    def load_snapshot(self) -> Optional[Dict]:
+        raise NotImplementedError
+
+    # -- lifecycle ------------------------------------------------------
+    def clear(self) -> None:
+        """Wipe both regions (tests / fresh deployments)."""
+        self.reset_wal(())
+        self.save_snapshot({})
+
+    def close(self) -> None:
+        pass
+
+
+class MemoryBackend(StorageBackend):
+    """Durable-enough: a medium that outlives the server *object*.
+
+    The deployment holds the backend and hands it to the replacement
+    server on restart — modelling a disk that survives a process crash
+    without paying real file I/O inside the simulator hot path (the
+    default, so journaling stays within noise of the wallclock bench).
+    """
+
+    def __init__(self) -> None:
+        self._wal: List[Dict] = []
+        self._snapshot: Optional[Dict] = None
+
+    def append(self, entry: Dict) -> None:
+        self._wal.append(entry)
+
+    def entries(self) -> List[Dict]:
+        return list(self._wal)
+
+    def reset_wal(self, entries: Iterable[Dict]) -> None:
+        self._wal = list(entries)
+
+    def wal_len(self) -> int:
+        return len(self._wal)
+
+    def save_snapshot(self, snapshot: Dict) -> None:
+        self._snapshot = snapshot if snapshot else None
+
+    def load_snapshot(self) -> Optional[Dict]:
+        return self._snapshot
+
+
+class JsonlBackend(StorageBackend):
+    """On-disk medium: ``<dir>/wal.jsonl`` + ``<dir>/snapshot.json``.
+
+    Appends go straight to the WAL file (one JSON object per line,
+    flushed per append — the write-ahead contract).  Snapshot saves and
+    WAL compactions write to a temp file and ``os.replace`` it, so a
+    crash mid-rewrite leaves the previous generation intact.  Reopening
+    the directory recovers whatever the last process persisted.
+    """
+
+    WAL_NAME = "wal.jsonl"
+    SNAPSHOT_NAME = "snapshot.json"
+
+    def __init__(self, directory) -> None:
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.wal_path = self.dir / self.WAL_NAME
+        self.snapshot_path = self.dir / self.SNAPSHOT_NAME
+        self._fh = open(self.wal_path, "a", encoding="utf-8")
+
+    def append(self, entry: Dict) -> None:
+        if self._fh.closed:
+            raise StorageError(f"backend {self.dir} is closed")
+        self._fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def entries(self) -> List[Dict]:
+        self._fh.flush()
+        out: List[Dict] = []
+        with open(self.wal_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except ValueError:
+                    # torn tail write from a crash mid-append: everything
+                    # before it is intact, the torn record never committed
+                    break
+        return out
+
+    def reset_wal(self, entries: Iterable[Dict]) -> None:
+        self._fh.close()
+        tmp = self.wal_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for entry in entries:
+                fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        os.replace(tmp, self.wal_path)
+        self._fh = open(self.wal_path, "a", encoding="utf-8")
+
+    def save_snapshot(self, snapshot: Dict) -> None:
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, separators=(",", ":"))
+        os.replace(tmp, self.snapshot_path)
+
+    def load_snapshot(self) -> Optional[Dict]:
+        if not self.snapshot_path.exists():
+            return None
+        with open(self.snapshot_path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        if not text.strip():
+            return None
+        doc = json.loads(text)
+        return doc or None
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()

@@ -53,6 +53,15 @@ def test_record_ids_unique_and_increasing():
     assert r2.record_id > r1.record_id
 
 
+def test_count_ignores_acl_and_accepts_predicate():
+    tbl = Table("t")
+    tbl.insert("alice", {"v": 1}, created_at=0.0)
+    tbl.insert("bob", {"v": 2}, created_at=1.0, readers=["carol"])
+    assert tbl.count() == 2  # bookkeeping: every owner's records count
+    assert tbl.count(lambda r: r.data["v"] > 1) == 1
+    assert tbl.count(lambda r: False) == 0
+
+
 def test_database_creates_tables_on_demand():
     db = Database()
     t1 = db.table("x")
@@ -127,3 +136,74 @@ def test_catchup_scoped_to_app(sim, archive):
                             readers=["*"])
     recent = archive.latecomer_catchup("app-2", "bob", n=10)
     assert [r["command"] for r in recent] == ["b"]
+
+
+# -------------------------- ACL boundary cases ------------------------------
+
+def test_catchup_respects_readers_list(sim, archive):
+    """A latecomer only sees interactions shared with them (or everyone);
+    records scoped to the owner stay private."""
+    archive.log_interaction("app-1", "alice", "command", {"command": "prv"})
+    archive.log_interaction("app-1", "alice", "command", {"command": "shr"},
+                            readers=["bob"])
+    archive.log_interaction("app-1", "alice", "command", {"command": "pub"},
+                            readers=["*"])
+    assert [r["command"] for r in
+            archive.latecomer_catchup("app-1", "bob")] == ["shr", "pub"]
+    assert [r["command"] for r in
+            archive.latecomer_catchup("app-1", "eve")] == ["pub"]
+    assert [r["command"] for r in
+            archive.latecomer_catchup("app-1", "alice")] == ["prv", "shr",
+                                                             "pub"]
+
+
+def test_app_log_readers_share_but_never_widen(sim, archive):
+    """Readers grant read access to the listed users only — being a
+    reader of one record reveals nothing about the app's other records."""
+    archive.log_app_record("app-1", "owner", "status", {"seq": 1},
+                           readers=["alice"])
+    archive.log_app_record("app-1", "owner", "status", {"seq": 2},
+                           readers=["bob"])
+    assert [r["seq"] for r in
+            archive.replay_app_log("app-1", "alice")] == [1]
+    assert [r["seq"] for r in
+            archive.replay_app_log("app-1", "bob")] == [2]
+    assert [r["seq"] for r in
+            archive.replay_app_log("app-1", "owner")] == [1, 2]
+    assert archive.replay_app_log("app-1", "eve") == []
+
+
+def test_replay_app_log_since_is_inclusive(sim, archive):
+    archive.log_app_record("app-1", "owner", "status", {"seq": 1})
+    sim.call_later(5.0, lambda: archive.log_app_record(
+        "app-1", "owner", "status", {"seq": 2}))
+    sim.run()
+    # since= is an inclusive lower bound on created_at
+    assert [r["seq"] for r in
+            archive.replay_app_log("app-1", "owner", since=5.0)] == [2]
+    assert [r["seq"] for r in
+            archive.replay_app_log("app-1", "owner", since=5.1)] == []
+    assert [r["seq"] for r in
+            archive.replay_app_log("app-1", "owner", since=0.0)] == [1, 2]
+
+
+def test_replay_limit_boundaries(sim, archive):
+    for i in range(5):
+        archive.log_interaction("app-1", "alice", "command", {"seq": i})
+    full = archive.replay_interactions("app-1", "alice")
+    assert [r["seq"] for r in full] == [0, 1, 2, 3, 4]
+    assert [r["seq"] for r in
+            archive.replay_interactions("app-1", "alice", limit=2)] == [0, 1]
+    assert archive.replay_interactions("app-1", "alice", limit=0) == []
+    # limit past the end is just "everything"
+    assert len(archive.replay_interactions("app-1", "alice",
+                                           limit=99)) == 5
+
+
+def test_catchup_n_boundaries(sim, archive):
+    for i in range(3):
+        archive.log_interaction("app-1", "alice", "command", {"seq": i},
+                                readers=["*"])
+    assert archive.latecomer_catchup("app-1", "bob", n=0) == []
+    assert [r["seq"] for r in
+            archive.latecomer_catchup("app-1", "bob", n=99)] == [0, 1, 2]

@@ -130,6 +130,25 @@ def test_stub_cache_is_bounded_and_counts_evictions():
     assert metrics.get("stub_evictions") == 2
 
 
+def test_stub_cache_counts_hits_and_misses():
+    sim, net, plane, orb, _ = make_plane(n_shards=2, replicas=1)
+    metrics = DirectoryMetrics()
+    client = DirectoryClient(orb, plane.ring, plane.refs,
+                             metrics=metrics)
+    shard = plane.ring.nodes[0]
+    client._stub(shard)  # cold: builds the stub
+    client._stub(shard)
+    client._stub(shard)
+    assert metrics.get("stub_cache_misses") == 1
+    assert metrics.get("stub_cache_hits") == 2
+    # a ref change (shard replacement) makes the cached stub stale — the
+    # rebuild is a miss, not a hit
+    client.refs[shard] = plane.refs[plane.ring.nodes[1]]
+    client._stub(shard)
+    assert metrics.get("stub_cache_misses") == 2
+    assert metrics.get("stub_cache_hits") == 2
+
+
 def test_epoch_change_invalidates_cached_stubs():
     sim, net, plane, orb, _ = make_plane()
     metrics = DirectoryMetrics()

@@ -16,6 +16,7 @@ def test_dispatch_modules_do_not_import_security_or_policies():
     assert "pipeline boundary OK" in proc.stdout
     assert "federation boundary OK" in proc.stdout
     assert "obs boundary OK" in proc.stdout
+    assert "storage boundary OK" in proc.stdout
 
 
 def test_federation_lint_catches_stub_usage(tmp_path):
@@ -69,3 +70,58 @@ def test_obs_lint_catches_span_internals(tmp_path):
         "    with tracer.span('op', plane='http', server='s'):\n"
         "        return tracer.current_context()\n")
     assert lint.obs_leaks(ok) == []
+
+
+def test_storage_lint_catches_wal_internals(tmp_path):
+    """The lint flags storage submodule imports and WAL-representation
+    names; the facade import (StateJournal, backends) stays legal."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import check_pipeline_boundary as lint
+    finally:
+        sys.path.pop(0)
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from repro.storage.wal import WriteAheadLog\n"
+        "import repro.storage.backends\n"
+        "def rebuild(backend):\n"
+        "    wal = WriteAheadLog(backend)\n"
+        "    return [WalRecord.from_entry(e) for e in backend.entries()]\n")
+    hits = lint.storage_leaks(bad)
+    assert any("repro.storage.wal" in what for _, what in hits)
+    assert any("repro.storage.backends" in what for _, what in hits)
+    assert any("'WriteAheadLog'" in what for _, what in hits)
+    assert any("'WalRecord'" in what for _, what in hits)
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        "from repro.storage import MemoryBackend, StateJournal\n"
+        "def build(server):\n"
+        "    journal = StateJournal(MemoryBackend())\n"
+        "    journal.append('db.insert', {})\n"
+        "    return journal.recover()\n")
+    assert lint.storage_leaks(ok) == []
+
+
+def test_core_file_io_lint(tmp_path):
+    """A bare open() (or io.open) in a core module is a WAL bypass."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        import check_pipeline_boundary as lint
+    finally:
+        sys.path.pop(0)
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import io\n"
+        "def persist(state):\n"
+        "    with open('/tmp/state.json', 'w') as fh:\n"
+        "        fh.write(str(state))\n"
+        "    return io.open('/tmp/log', 'a')\n")
+    hits = lint.core_file_io(bad)
+    assert sorted(what for _, what in hits) == ["calls io.open()",
+                                                "calls open()"]
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        "def persist(journal, state):\n"
+        "    journal.append('db.insert', state)\n"
+        "    session = mgr.open_session()\n")  # method named open is fine
+    assert lint.core_file_io(ok) == []

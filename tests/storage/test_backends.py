@@ -1,0 +1,100 @@
+"""Unit tests for the storage media (memory and JSONL-on-disk)."""
+
+import json
+
+import pytest
+
+from repro.storage import JsonlBackend, MemoryBackend, StorageError
+
+
+@pytest.fixture(params=["memory", "jsonl"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryBackend()
+    else:
+        b = JsonlBackend(tmp_path)
+        yield b
+        b.close()
+
+
+# ------------------------- interface contract ------------------------------
+
+def test_append_and_entries_preserve_order(backend):
+    for i in range(5):
+        backend.append({"lsn": i + 1, "kind": "t", "data": {"i": i}})
+    entries = backend.entries()
+    assert [e["lsn"] for e in entries] == [1, 2, 3, 4, 5]
+    assert backend.wal_len() == 5
+
+
+def test_reset_wal_replaces_the_region(backend):
+    for i in range(4):
+        backend.append({"lsn": i + 1})
+    backend.reset_wal([{"lsn": 4}])
+    assert [e["lsn"] for e in backend.entries()] == [4]
+    # still appendable after the rewrite
+    backend.append({"lsn": 5})
+    assert backend.wal_len() == 2
+
+
+def test_snapshot_slot_roundtrip(backend):
+    assert backend.load_snapshot() is None
+    backend.save_snapshot({"lsn": 7, "state": {"locks": {}}})
+    doc = backend.load_snapshot()
+    assert doc == {"lsn": 7, "state": {"locks": {}}}
+
+
+def test_clear_wipes_both_regions(backend):
+    backend.append({"lsn": 1})
+    backend.save_snapshot({"lsn": 1, "state": {}})
+    backend.clear()
+    assert backend.entries() == []
+    assert backend.load_snapshot() is None
+
+
+# ------------------------- JSONL specifics ---------------------------------
+
+def test_jsonl_reopen_recovers_everything(tmp_path):
+    b = JsonlBackend(tmp_path)
+    b.append({"lsn": 1, "kind": "db.insert"})
+    b.append({"lsn": 2, "kind": "locks.acquire"})
+    b.save_snapshot({"lsn": 1, "state": {"db": {}}})
+    b.close()
+    reopened = JsonlBackend(tmp_path)
+    assert [e["lsn"] for e in reopened.entries()] == [1, 2]
+    assert reopened.load_snapshot()["lsn"] == 1
+    reopened.close()
+
+
+def test_jsonl_torn_tail_is_dropped(tmp_path):
+    b = JsonlBackend(tmp_path)
+    b.append({"lsn": 1})
+    b.append({"lsn": 2})
+    b.close()
+    # simulate a crash mid-append: a half-written last line
+    with open(tmp_path / JsonlBackend.WAL_NAME, "a",
+              encoding="utf-8") as fh:
+        fh.write('{"lsn": 3, "kind": "db.ins')
+    reopened = JsonlBackend(tmp_path)
+    assert [e["lsn"] for e in reopened.entries()] == [1, 2]
+    reopened.close()
+
+
+def test_jsonl_snapshot_replace_is_atomic(tmp_path):
+    b = JsonlBackend(tmp_path)
+    b.save_snapshot({"lsn": 1, "state": {"a": 1}})
+    b.save_snapshot({"lsn": 2, "state": {"a": 2}})
+    # no temp file left behind; the slot holds exactly the last doc
+    leftovers = [p.name for p in tmp_path.iterdir()]
+    assert sorted(leftovers) == [JsonlBackend.SNAPSHOT_NAME,
+                                 JsonlBackend.WAL_NAME]
+    with open(tmp_path / JsonlBackend.SNAPSHOT_NAME) as fh:
+        assert json.load(fh)["lsn"] == 2
+    b.close()
+
+
+def test_jsonl_append_after_close_raises(tmp_path):
+    b = JsonlBackend(tmp_path)
+    b.close()
+    with pytest.raises(StorageError):
+        b.append({"lsn": 1})

@@ -39,6 +39,16 @@ Three checks, all AST-based:
    ``.split("#")`` — parsing an app id anywhere else re-inlines the
    placement policy ``home_server_of`` made pluggable.
 
+6. **Storage boundary** — WAL/snapshot internals live in
+   :mod:`repro.storage`.  Outside the package: no storage *submodule*
+   imports (the facade ``from repro.storage import StateJournal`` stays
+   legal) and no naming of ``WriteAheadLog`` / ``WalRecord`` — planes
+   journal through :class:`StateJournal` and recover through
+   ``recover()``, never by reading the log representation.  Separately,
+   ``repro.core`` must not ``open()`` files at all — durability is the
+   storage backend's business, so direct file I/O from a core plane is a
+   WAL bypass.
+
 Usage: python tools/check_pipeline_boundary.py [repo_root]
 """
 
@@ -92,6 +102,16 @@ DIRECTORY_PACKAGE = "src/repro/directory"
 #: the app-id separator — splitting on it outside repro.directory is
 #: placement policy leaking out of the Placement abstraction
 APP_ID_SEPARATOR = "#"
+
+#: log-representation internals only repro.storage may name — planes
+#: journal through StateJournal.append and rebuild through recover()
+STORAGE_ONLY_NAMES = frozenset({"WriteAheadLog", "WalRecord"})
+
+#: the durable-state package, relative to the repo root
+STORAGE_PACKAGE = "src/repro/storage"
+
+#: the core package — no direct file I/O allowed there at all
+CORE_PACKAGE = "src/repro/core"
 
 
 def forbidden_imports(path: Path) -> list:
@@ -227,6 +247,56 @@ def directory_leaks(path: Path) -> list:
     return hits
 
 
+def storage_leaks(path: Path) -> list:
+    """(lineno, what) pairs for storage-internal use in ``path``.
+
+    Mirrors :func:`obs_leaks`: importing a storage *submodule*
+    (``repro.storage.wal`` — the facade ``from repro.storage import
+    StateJournal`` stays legal) or naming a log internal
+    (``WriteAheadLog`` / ``WalRecord``) couples callers to the log
+    representation instead of the journal/recovery API.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.storage."):
+                    hits.append((node.lineno,
+                                 f"imports {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.startswith("repro.storage."):
+                hits.append((node.lineno, f"imports from {module}"))
+        elif isinstance(node, (ast.Name, ast.Attribute)):
+            name = node.id if isinstance(node, ast.Name) else node.attr
+            if name in STORAGE_ONLY_NAMES:
+                hits.append((node.lineno, f"uses {name!r}"))
+    return hits
+
+
+def core_file_io(path: Path) -> list:
+    """(lineno, what) pairs for direct file I/O in a core module.
+
+    A bare ``open(...)`` call (or ``io.open``) inside ``repro.core`` is a
+    WAL bypass — durable bytes must go through a
+    :class:`~repro.storage.StorageBackend`.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            hits.append((node.lineno, "calls open()"))
+        elif (isinstance(func, ast.Attribute) and func.attr == "open"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "io"):
+            hits.append((node.lineno, "calls io.open()"))
+    return hits
+
+
 def main(argv) -> int:
     root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
     failures = []
@@ -243,10 +313,14 @@ def main(argv) -> int:
     obs_root = root / OBS_PACKAGE
     health_root = root / HEALTH_PACKAGE
     directory_root = root / DIRECTORY_PACKAGE
+    storage_root = root / STORAGE_PACKAGE
+    core_root = root / CORE_PACKAGE
     checked = 0
     obs_checked = 0
     health_checked = 0
     directory_checked = 0
+    storage_checked = 0
+    core_checked = 0
     for path in sorted((root / "src" / "repro").rglob("*.py")):
         rel = path.relative_to(root)
         if not (fed_root in path.parents or path.parent == fed_root):
@@ -276,6 +350,21 @@ def main(argv) -> int:
                     f"{rel}:{lineno}: {what} — ring/placement internals "
                     f"stay in repro.directory; use DirectoryClient / "
                     f"home_server_of")
+        if not (storage_root in path.parents
+                or path.parent == storage_root):
+            storage_checked += 1
+            for lineno, what in storage_leaks(path):
+                failures.append(
+                    f"{rel}:{lineno}: {what} — WAL/snapshot internals "
+                    f"stay in repro.storage; journal through "
+                    f"StateJournal and recover()")
+        if core_root in path.parents or path.parent == core_root:
+            core_checked += 1
+            for lineno, what in core_file_io(path):
+                failures.append(
+                    f"{rel}:{lineno}: {what} — no direct file I/O in "
+                    f"repro.core; durable bytes go through a "
+                    f"repro.storage backend")
     if failures:
         print("pipeline boundary violations:", file=sys.stderr)
         for failure in failures:
@@ -285,7 +374,9 @@ def main(argv) -> int:
           f"clean); federation boundary OK ({checked} modules clean); "
           f"obs boundary OK ({obs_checked} modules clean); "
           f"health boundary OK ({health_checked} modules clean); "
-          f"directory boundary OK ({directory_checked} modules clean)")
+          f"directory boundary OK ({directory_checked} modules clean); "
+          f"storage boundary OK ({storage_checked} modules clean, "
+          f"{core_checked} core modules I/O-free)")
     return 0
 
 
