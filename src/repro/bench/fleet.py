@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 from repro.bench.traffic import TrafficSpec, constant, exponential, session_plans
 from repro.core.server import DiscoverServer
 from repro.directory import DirectoryPlane, make_app_id
-from repro.metrics.stats import summarize
+from repro.metrics.stats import Reservoir
 from repro.net import Network
 from repro.net.costs import CostModel, LinkSpec
 from repro.orb import Orb, OrbError
@@ -246,13 +246,14 @@ def run_fleet_directory(n_servers: int = 50, *, n_sessions: int = 20_000,
            and sim.now < deadline):
         sim.run(until=min(sim.now + 10.0, deadline))
 
-    # fleet-wide read latency: merge every server's reservoir samples
-    samples: List[float] = []
-    reads = 0
+    # fleet-wide read latency: merge every server's reservoir — exact
+    # count/mean/min/max composition, traffic-weighted sample retention
+    # (Reservoir.merge), so the fleet tail isn't lost to concatenation
+    merged = Reservoir()
     for server in fleet.servers:
-        samples.extend(server.directory_metrics.read_samples())
-        reads += server.directory_metrics.read_stats().count
-    stats = summarize(samples).scaled(1e3)
+        merged.merge(server.directory_metrics.read_reservoir())
+    reads = merged.count
+    stats = merged.stats().scaled(1e3)
 
     # per-shard load flatness over the *traffic* phase only (publishing
     # is write-through: every replica sees every write by design)

@@ -60,6 +60,10 @@ DIRECTORY_KEYS = ("dir_lookups", "dir_locates", "dir_publishes",
 STORAGE_KEYS = ("storage_appends", "storage_snapshots", "storage_compacted",
                 "storage_recoveries", "storage_replayed")
 
+#: observability totals (structured log + time-series store), also
+#: added by ``pipeline_counters``
+OBS_KEYS = ("log_records", "log_dropped", "ts_series", "ts_points")
+
 
 def format_pipeline_summary(rows: Sequence[Dict]) -> str:
     """Footer lines aggregating the per-plane pipeline counters and the
@@ -113,6 +117,12 @@ def format_pipeline_summary(rows: Sequence[Dict]) -> str:
                 f"compacted={sk['storage_compacted']} "
                 f"recoveries={sk['storage_recoveries']} "
                 f"replayed={sk['storage_replayed']}")
+    if any(k in row for row in rows for k in OBS_KEYS):
+        ok = {k: sum(row.get(k, 0) for row in rows) for k in OBS_KEYS}
+        out += (f"\nobs: log_records={ok['log_records']} "
+                f"log_dropped={ok['log_dropped']} "
+                f"ts_series={ok['ts_series']} "
+                f"ts_points={ok['ts_points']}")
     return out
 
 

@@ -39,8 +39,12 @@ def pipeline_counters(servers, tracer=None) -> dict:
     ``dir_stub_misses``) plus ``fed_discovery_skipped``, and the durable
     state plane's totals (``storage_appends``, ``storage_snapshots``,
     ``storage_compacted``, ``storage_recoveries``, ``storage_replayed``).
-    Passing the deployment's tracer adds the span-store totals
-    (``spans_recorded``, ``traces_recorded``, ``spans_dropped``)."""
+    Observability totals ride along too: the structured log's retained /
+    ring-dropped record counts (``log_records``, ``log_dropped`` — so
+    overflow is visible, not silent) and the time-series store's size
+    (``ts_series``, ``ts_points``).  Passing the deployment's tracer
+    adds the span-store totals (``spans_recorded``, ``traces_recorded``,
+    ``spans_dropped``)."""
     http = orb = channel = errors = expired = 0
     subscribes = unsubscribes = invalidations = failovers = 0
     discovery_skipped = 0
@@ -54,6 +58,7 @@ def pipeline_counters(servers, tracer=None) -> dict:
     status_counts = {"healthy": 0, "degraded": 0, "unhealthy": 0,
                      "unknown": 0}
     alerts_fired = alerts_resolved = health_failovers = 0
+    log_records = log_dropped = ts_series = ts_points = 0
     for server in servers:
         metrics = server.pipeline_metrics
         http += metrics.requests(PLANE_HTTP)
@@ -84,6 +89,15 @@ def pipeline_counters(servers, tracer=None) -> dict:
             alerts_fired += alert_snap["fired"]
             alerts_resolved += alert_snap["resolved"]
             health_failovers += health.counters["failovers"]
+        log = getattr(server, "log", None)
+        if log is not None:
+            log_records += len(log)
+            log_dropped += log.dropped
+        timeseries = getattr(server, "timeseries", None)
+        if timeseries is not None:
+            ts_snap = timeseries.snapshot()
+            ts_series += ts_snap["series"]
+            ts_points += ts_snap["points"]
     row = {
         "http_requests": http,
         "orb_requests": orb,
@@ -115,6 +129,10 @@ def pipeline_counters(servers, tracer=None) -> dict:
         "alerts_fired": alerts_fired,
         "alerts_resolved": alerts_resolved,
         "health_failovers": health_failovers,
+        "log_records": log_records,
+        "log_dropped": log_dropped,
+        "ts_series": ts_series,
+        "ts_points": ts_points,
     }
     if tracer is not None:
         row["spans_recorded"] = len(tracer.store)
@@ -574,6 +592,144 @@ def run_recovery_drill(*, n_commands: int = 10,
         **pipeline_counters(collab.servers.values(), tracer=collab.tracer),
     }
     return row, collab
+
+
+def run_telemetry_drill(*, duration: float = 30.0, kill_at: float = 10.0,
+                        outage: float = 2.0, settle: float = 5.0,
+                        wan_latency: float = 0.030,
+                        heartbeat_period: float = 0.25,
+                        gossip_period: float = 0.5,
+                        peer_call_timeout: float = 0.5,
+                        command_interval: float = 0.5,
+                        response_timeout: float = 2.0,
+                        bucket_width: float = 1.0,
+                        breach_threshold: float = 0.01,
+                        warmup: float = 2.0):
+    """E13: kill-and-recover, observed entirely through the telemetry plane.
+
+    The E10 fault shape (three domains, replica app, resilient client)
+    plus the E12 recovery (the victim restarts after ``outage`` and
+    rejoins), but every headline number is *queried from the time-series
+    store* rather than read off live collectors — the drill that proves
+    the plane supports post-hoc fleet-wide analysis:
+
+    - **detection**: the fleet-merged per-bucket error rate
+      (``pipeline.errors.http`` over ``pipeline.requests.http``) first
+      breaches ``breach_threshold`` — the default is the request SLO's
+      fast burn threshold, 10x a 0.1% error budget — within one bucket
+      width of the kill instant.
+    - **recovery**: the fleet-merged ``pipeline.latency.http`` p99 over
+      the post-recovery window returns to within one log-bucket
+      (~9.05% < 10%) of the pre-kill baseline.  The baseline window
+      starts ``warmup`` seconds in, so the one-off login/open setup
+      requests don't inflate the steady-state tail being compared.
+
+    The merge includes the dead victim's registry (captured before the
+    restart replaces it), so pre-kill history survives the crash in the
+    fleet view.  Buckets are ``bucket_width`` (1 s) wide so the windows
+    are legible in the E13 table.  Returns ``(row, collab, merged)`` —
+    ``merged`` is the fleet-merged
+    :class:`~repro.obs.TimeSeriesRegistry` for further queries.
+    """
+    from repro.apps import SyntheticApp
+    from repro.bench.workload import resilient_steering_client
+    from repro.steering import AppConfig
+
+    spec = LinkSpec(wan_latency=wan_latency)
+    collab = build_collaboratory(3, apps_hosts_per_domain=1,
+                                 client_hosts_per_domain=1, spec=spec,
+                                 health_period=heartbeat_period,
+                                 health_gossip_period=gossip_period,
+                                 timeseries_bucket_width=bucket_width)
+    for server in collab.servers.values():
+        server.peer_call_timeout = peer_call_timeout
+    collab.run_bootstrap()
+    interactive = AppConfig(steps_per_phase=1, step_time=0.005,
+                            interaction_window=0.25,
+                            command_service_time=0.002)
+    primary = collab.add_app(1, SyntheticApp, "drill-target",
+                             acl={"bench": "write"}, config=interactive)
+    collab.add_app(2, SyntheticApp, "drill-target",
+                   acl={"bench": "write"}, config=interactive)
+    collab.sim.run(until=collab.sim.now + 2.0)  # apps register
+
+    victim = collab.server_of(1)
+    victim_name = victim.name
+    portal = collab.add_portal(0)
+    counts: dict = {}
+    t0 = collab.sim.now
+    collab.sim.spawn(resilient_steering_client(
+        portal, primary.app_id, user="bench", duration=duration,
+        command_interval=command_interval, counts=counts,
+        response_timeout=response_timeout))
+    kill_time = {}
+
+    def killer():
+        yield collab.sim.timeout(kill_at)
+        kill_time["t"] = collab.sim.now
+        victim.stop()
+
+    collab.sim.spawn(killer(), name="telemetry-drill-killer")
+
+    # crash → outage → restart → recovery, with the client steering
+    # through all of it; the victim's pre-kill series are captured before
+    # restart_server swaps in a fresh registry
+    collab.sim.run(until=t0 + kill_at + outage)
+    victim_history = victim.timeseries
+    collab.restart_server(victim_name)
+    collab.run_bootstrap()
+    collab.sim.run(until=t0 + duration + 2.0)
+    end = collab.sim.now
+
+    merged = collab.merged_timeseries(extra=[victim_history])
+    kill_t = kill_time.get("t", t0 + kill_at)
+
+    # detection: first bucket whose fleet error fraction breaches the
+    # fast-burn threshold
+    requests = {p["t"]: p["value"]
+                for p in merged.query("pipeline.requests.http", "points",
+                                      start=t0, end=end)}
+    try:
+        errors = merged.query("pipeline.errors.http", "points",
+                              start=t0, end=end)
+    except KeyError:
+        errors = []
+    breach_start = None
+    for point in errors:
+        total = requests.get(point["t"], 0.0)
+        if total > 0 and point["value"] / total >= breach_threshold:
+            breach_start = point["t"]
+            break
+
+    # recovery: merged p99 over the post-recovery window vs the pre-kill
+    # baseline, both straight from quantile queries over the store.  The
+    # baseline ends at the last bucket boundary at or before the kill:
+    # the straddling bucket also holds post-kill timeout latencies.
+    recover_t = kill_t + outage + settle
+    baseline_end = (kill_t // bucket_width) * bucket_width
+    p99_baseline = merged.query("pipeline.latency.http", "quantile",
+                                start=t0 + warmup, end=baseline_end, q=0.99)
+    p99_recovered = merged.query("pipeline.latency.http", "quantile",
+                                 start=recover_t, end=end, q=0.99)
+    snap = merged.snapshot()
+    row = {
+        "duration_s": duration,
+        "bucket_width_s": bucket_width,
+        "kill_at_s": round(kill_t - t0, 3),
+        "outage_s": outage,
+        "victim": victim_name,
+        "breach_delay_s": (None if breach_start is None
+                           else round(breach_start - kill_t, 3)),
+        "p99_baseline_ms": round(p99_baseline * 1e3, 3),
+        "p99_recovered_ms": round(p99_recovered * 1e3, 3),
+        "p99_ratio": round(p99_recovered / p99_baseline, 4),
+        "commands_ok": counts.get("ok", 0),
+        "commands_failed": counts.get("failed", 0),
+        "merged_series": snap["series"],
+        "merged_points": snap["points"],
+        **pipeline_counters(collab.servers.values(), tracer=collab.tracer),
+    }
+    return row, collab, merged
 
 
 def scrape_status(collab, *, domain_index: int = 0, path: str = "/status",

@@ -11,6 +11,9 @@
     python -m repro trace --chrome trace.json # open in ui.perfetto.dev
     python -m repro status [--prom]           # fleet health after a fault
     python -m repro alerts                    # SLO alert fire/resolve log
+    python -m repro tsdb                      # telemetry-drill quantile table
+    python -m repro tsdb --series pipeline.latency.http   # one range dump
+    python -m repro tsdb --chrome counters.json  # Perfetto counter tracks
 
 The full experiment suite (every table, with shape assertions) lives in
 ``benchmarks/`` and runs under ``pytest benchmarks/ --benchmark-only -s``;
@@ -97,6 +100,19 @@ def _exp_e12(quick: bool) -> Tuple[List[dict], List[str]]:
                    "catchup_records", "recovery_wall_ms"]
 
 
+def _exp_e13(quick: bool) -> Tuple[List[dict], List[str]]:
+    from repro.bench.scenarios import run_telemetry_drill
+    duration = 15.0 if quick else 30.0
+    kill_at = 5.0 if quick else 10.0
+    row, collab, _merged = run_telemetry_drill(duration=duration,
+                                               kill_at=kill_at)
+    collab.stop()
+    return [row], ["victim", "bucket_width_s", "kill_at_s",
+                   "breach_delay_s", "p99_baseline_ms", "p99_recovered_ms",
+                   "p99_ratio", "commands_ok", "commands_failed",
+                   "merged_series", "merged_points"]
+
+
 EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
     "E1": ("applications per server (>40 supported)", _exp_e1),
     "E2": ("HTTP clients per server (~20, then degradation)", _exp_e2),
@@ -107,6 +123,8 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
             "fleet size", _exp_e11),
     "E12": ("kill → restart → recover sessions, locks, archive from "
             "snapshot + WAL", _exp_e12),
+    "E13": ("telemetry plane: error-rate breach within one bucket of a "
+            "kill, merged p99 recovers within 10%", _exp_e13),
 }
 
 
@@ -257,6 +275,77 @@ def cmd_alerts(args) -> int:
     return 0
 
 
+def cmd_tsdb(args) -> int:
+    """Query the time-series store (run the E13 drill or load a dump)."""
+    import json
+
+    from repro.obs import TimeSeriesRegistry, to_chrome_counters
+
+    if args.input:
+        with open(args.input) as fh:
+            merged = TimeSeriesRegistry.from_dict(json.load(fh))
+        print(f"loaded {len(merged.names())} series from {args.input}")
+    else:
+        from repro.bench.scenarios import run_telemetry_drill
+        duration = 15.0 if args.quick else 30.0
+        kill_at = 5.0 if args.quick else 10.0
+        row, collab, merged = run_telemetry_drill(duration=duration,
+                                                  kill_at=kill_at)
+        collab.stop()
+        print(f"telemetry drill: victim={row['victim']} "
+              f"breach_delay_s={row['breach_delay_s']} "
+              f"p99_baseline_ms={row['p99_baseline_ms']} "
+              f"p99_recovered_ms={row['p99_recovered_ms']} "
+              f"p99_ratio={row['p99_ratio']}")
+
+    if args.series:
+        kind = merged.kind(args.series)
+        if kind is None:
+            print(f"unknown series {args.series!r}; known: "
+                  f"{', '.join(merged.names())}", file=sys.stderr)
+            return 2
+        points = merged.query(args.series, "points", start=args.start,
+                              end=args.end, q=args.q)
+        if kind == "histogram":
+            columns = ["t", "width", "count", "mean", "q", "max"]
+        else:
+            columns = ["t", "width", "value"]
+        print(format_table(points, columns,
+                           title=f"{args.series} ({kind}, q={args.q})"))
+    else:
+        rows = []
+        for name in merged.names():
+            kind = merged.kind(name)
+            if kind == "histogram":
+                summary = merged.histogram_summary(name)
+                rows.append({"series": name, "kind": kind,
+                             "count": summary["count"],
+                             "p50": summary["p50"], "p90": summary["p90"],
+                             "p99": summary["p99"], "max": summary["max"]})
+            else:
+                rows.append({"series": name, "kind": kind,
+                             "sum": merged.query(name, "sum"),
+                             "last": merged.query(name, "instant")})
+        print(format_table(rows, ["series", "kind", "count", "sum", "last",
+                                  "p50", "p90", "p99", "max"],
+                           title="fleet-merged series"))
+
+    if args.export:
+        doc = merged.to_dict()
+        with open(args.export, "w") as fh:
+            json.dump(doc, fh)
+        reloaded = TimeSeriesRegistry.from_dict(doc)
+        assert reloaded.to_dict() == doc  # export/import is lossless
+        print(f"\nstore exported to {args.export} "
+              f"(round-trip verified, {len(doc['series'])} series)")
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump({"traceEvents": to_chrome_counters(merged)}, fh)
+        print(f"\nChrome counter tracks written to {args.chrome} "
+              f"— open in ui.perfetto.dev")
+    return 0
+
+
 def cmd_demo(_args) -> int:
     """A compressed version of examples/quickstart.py."""
     from repro import AppConfig, build_single_server
@@ -330,6 +419,28 @@ def build_parser() -> argparse.ArgumentParser:
                        "fault-injection run")
     alerts_p.add_argument("--quick", action="store_true",
                           help="shorter virtual run")
+    tsdb_p = sub.add_parser(
+        "tsdb", help="query the telemetry-drill time-series store")
+    tsdb_p.add_argument("--quick", action="store_true",
+                        help="shorter virtual run")
+    tsdb_p.add_argument("--input", default=None,
+                        help="load a previously exported store instead of "
+                             "running the drill")
+    tsdb_p.add_argument("--series", default=None,
+                        help="dump one series' buckets instead of the "
+                             "summary table")
+    tsdb_p.add_argument("--start", type=float, default=None,
+                        help="range start in sim-seconds")
+    tsdb_p.add_argument("--end", type=float, default=None,
+                        help="range end in sim-seconds")
+    tsdb_p.add_argument("--q", type=float, default=0.99,
+                        help="quantile for histogram dumps (default 0.99)")
+    tsdb_p.add_argument("--export", default=None,
+                        help="write the merged store as JSON "
+                             "(loadable with --input)")
+    tsdb_p.add_argument("--chrome", default=None,
+                        help="write Chrome trace-event counter tracks "
+                             "(ui.perfetto.dev)")
     return parser
 
 
@@ -343,6 +454,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "status": cmd_status,
         "alerts": cmd_alerts,
+        "tsdb": cmd_tsdb,
         None: cmd_info,
     }
     return handlers[args.command](args)

@@ -112,11 +112,25 @@ class Collaboratory:
                               server.directory_metrics)
             registry.register(f"storage[{name}]", server.storage_metrics)
             registry.register(f"health[{name}]", server.health)
+            registry.register(f"log[{name}]", server.log)
+            registry.register(f"timeseries[{name}]", server.timeseries)
         if self.directory is not None:
             registry.register("directory_plane", self.directory)
         registry.register("traffic", self.net.trace)
         registry.register("spans", self.tracer)
         return registry
+
+    def merged_timeseries(self, extra=()):
+        """Fleet-wide time-series view: every live server's registry
+        merged bucket-by-bucket (counters/gauges add, histograms merge
+        exactly).  ``extra`` adds registries of servers no longer in
+        :attr:`servers` — e.g. a killed server's pre-crash telemetry."""
+        from repro.obs import TimeSeriesRegistry
+        registries = [self.servers[name].timeseries
+                      for name in sorted(self.servers)]
+        registries.extend(extra)
+        return TimeSeriesRegistry.merged(registries, clock=lambda:
+                                         self.sim.now)
 
     # -- bootstrap ------------------------------------------------------------
     def bootstrap(self):
@@ -179,6 +193,7 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
                         log_sink=None,
                         storage_backend_factory=None,
                         storage_snapshot_every: Optional[int] = None,
+                        timeseries_bucket_width: float = 0.25,
                         sim: Optional[Simulator] = None) -> Collaboratory:
     """Build a ready-to-bootstrap multi-domain collaboratory.
 
@@ -256,7 +271,8 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
             health_gossip_period=health_gossip_period,
             health_enabled=health_enabled,
             log_sink=log_sink,
-            storage_snapshot_every=snapshot_every)
+            storage_snapshot_every=snapshot_every,
+            timeseries_bucket_width=timeseries_bucket_width)
         server = DiscoverServer(domain.server, storage=backend, **kwargs)
         if directory is not None:
             server.attach_directory(directory.client_for(server))

@@ -209,9 +209,14 @@ class StatusServlet(DiscoverServlet):
 
     - ``GET /status`` — fleet statuses, active alerts, SLO compliance
     - ``GET /status?format=prom`` — the whole metrics registry + health
-      gauges in Prometheus text format (the scrape endpoint)
+      gauges in Prometheus text format (the scrape endpoint), including
+      ``_bucket``/``_sum``/``_count`` histogram families from the
+      time-series store
     - ``GET /status/app?app_id=...`` — one application's health detail
     - ``GET /status/alerts`` — full alert history (fire/resolve records)
+    - ``GET /status/timeseries`` — the sim-time telemetry store: series
+      summaries, or one series' buckets with
+      ``?series=...[&start=..][&end=..][&q=..]``
 
     Served through the standard interceptor pipeline like every other
     servlet, so status requests are themselves metered, traced, and
@@ -224,8 +229,12 @@ class StatusServlet(DiscoverServlet):
         if p.get("format") == "prom":
             from repro.health import to_prometheus
             return to_prometheus(self.server.metrics_registry(),
-                                 monitor=health)
+                                 monitor=health,
+                                 timeseries=self.server.timeseries,
+                                 instance=self.server.name)
         action = request.path.rsplit("/", 1)[-1]
+        if action == "timeseries":
+            return self._timeseries(p)
         if action == "app":
             return self._app_detail(p["app_id"])
         if action == "alerts":
@@ -241,6 +250,34 @@ class StatusServlet(DiscoverServlet):
                            "fleet": health.fleet_view()},
                 "slo": health.slos.compliance(),
                 "alerts": [a.to_record() for a in health.alerts.active()]}
+
+    def _timeseries(self, p):
+        """The time-series store over HTTP: summaries or one range dump."""
+        ts = self.server.timeseries
+        name = p.get("series")
+        if name is None:
+            series = {}
+            for sname in ts.names():
+                kind = ts.kind(sname)
+                entry = {"kind": kind}
+                if kind == "histogram":
+                    entry.update(ts.histogram_summary(sname))
+                else:
+                    entry["sum"] = ts.query(sname, "sum")
+                    entry["last"] = ts.query(sname, "instant")
+                series[sname] = entry
+            return {"server": self.server.name,
+                    "time": self.server.sim.now,
+                    "bucket_width": ts.bucket_width,
+                    "series": series}
+        start = float(p["start"]) if "start" in p else None
+        end = float(p["end"]) if "end" in p else None
+        q = float(p.get("q", 0.99))
+        return {"server": self.server.name,
+                "series": name,
+                "kind": ts.kind(name),
+                "points": ts.query(name, "points", start=start, end=end,
+                                   q=q)}
 
     def _app_detail(self, app_id):
         health = self.server.health

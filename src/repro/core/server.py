@@ -88,7 +88,8 @@ class DiscoverServer:
                  health_enabled: bool = True,
                  log_sink=None,
                  storage: Optional[StorageBackend] = None,
-                 storage_snapshot_every: int = DEFAULT_SNAPSHOT_EVERY) -> None:
+                 storage_snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+                 timeseries_bucket_width: float = 0.25) -> None:
         self.host = host
         self.sim = host.sim
         self.name = host.name
@@ -119,16 +120,28 @@ class DiscoverServer:
         self.remote_access = remote_access
         self._schedules: Dict[str, Any] = {}
 
+        # -- time-series telemetry plane (§ DESIGN 4h) ----------------------
+        #: sim-time metric streams every collector sinks into alongside
+        #: its end-of-run snapshot; recording is zero-event bookkeeping
+        #: (no sim events, no CPU charges, no wire bytes)
+        from repro.obs import TimeSeriesRegistry
+        self.timeseries = TimeSeriesRegistry(
+            clock=lambda: self.sim.now,
+            bucket_width=timeseries_bucket_width)
+        self.directory_metrics.timeseries = self.timeseries
+
         # -- durable state plane (§ DESIGN 4g) ------------------------------
         #: WAL + snapshot journal every stateful plane writes through; the
         #: backend outlives this server object, so a replacement server
         #: handed the same backend rebuilds the planes via :meth:`recover`
         self.storage_metrics = StorageMetrics()
+        self.storage_metrics.timeseries = self.timeseries
         self.journal = StateJournal(
             storage if storage is not None else MemoryBackend(),
             clock=lambda: self.sim.now,
             snapshot_every=storage_snapshot_every,
             metrics=self.storage_metrics)
+        self.journal.timeseries = self.timeseries
 
         # -- components ---------------------------------------------------
         self.security = SecurityManager()
@@ -144,6 +157,7 @@ class DiscoverServer:
         self.policies = PolicyManager()
         #: per-plane request counters/latencies shared by all three chains
         self.pipeline_metrics = PipelineMetrics()
+        self.pipeline_metrics.timeseries = self.timeseries
         if tracer is None:
             # Standalone servers trace nothing; a disabled tracer keeps
             # the request paths free of None checks.  Deployments pass
@@ -169,6 +183,7 @@ class DiscoverServer:
         # -- federation (the location-transparency layer, §4–5) ------------
         #: invalidation / subscription / staleness counters (repro.metrics)
         self.federation_metrics = FederationMetrics()
+        self.federation_metrics.timeseries = self.timeseries
         self.registry = PeerRegistry(
             self.orb, self.name, trader_ref=trader_ref,
             service_id=SERVICE_ID, call_timeout=peer_call_timeout,
@@ -771,6 +786,7 @@ class DiscoverServer:
         registry.register(f"storage[{self.name}]", self.storage_metrics)
         registry.register(f"health[{self.name}]", self.health)
         registry.register(f"log[{self.name}]", self.log)
+        registry.register(f"timeseries[{self.name}]", self.timeseries)
         return registry
 
     def stop(self) -> None:

@@ -91,8 +91,12 @@ class HealthMonitor:
         self.model = HealthModel(clock=clock, down_after=down_after,
                                  up_after=up_after)
         self.alerts = AlertLog()
+        #: the server's shared time-series registry (None on bare
+        #: monitors): SLO window series and health gauges land there
+        self.timeseries = getattr(server, "timeseries", None)
         self.slos = SLOEngine(clock=clock, log=self.alerts,
-                              exemplar_fn=self._exemplars)
+                              exemplar_fn=self._exemplars,
+                              timeseries=self.timeseries)
         if install_slos is not None:
             install_slos(server, self.slos)
         #: peer server → (stamp, statuses) from the last gossip exchange
@@ -104,6 +108,8 @@ class HealthMonitor:
         # pipeline totals at the previous tick, for per-tick deltas
         self._last_requests = 0
         self._last_errors = 0
+        # statuses at the previous tick, for the transitions counter
+        self._last_statuses: Dict[str, str] = {}
         self._procs: List = []
         if enabled:
             self._procs.append(server.sim.spawn(
@@ -141,7 +147,25 @@ class HealthMonitor:
                 self.model.record_success(key)
             else:
                 self.model.record_failure(key)
+        if self.timeseries is not None:
+            self._record_health_series()
         self.slos.observe()
+
+    def _record_health_series(self) -> None:
+        """Status-count gauges and a transitions counter, per tick."""
+        ts = self.timeseries
+        statuses = self.model.statuses()
+        counts: Dict[str, int] = {}
+        transitions = 0
+        for key, status in statuses.items():
+            counts[status] = counts.get(status, 0) + 1
+            if self._last_statuses.get(key, status) != status:
+                transitions += 1
+        self._last_statuses = statuses
+        for status, n in sorted(counts.items()):
+            ts.set_gauge(f"health.status.{status}", n)
+        if transitions:
+            ts.inc("health.transitions", transitions)
 
     def _self_heartbeat(self) -> None:
         """The server's own beat, folding the pipeline error rate.

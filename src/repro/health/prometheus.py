@@ -68,9 +68,18 @@ def _flatten(prefix: str, value, out) -> None:
     # strings / lists / None are not gauges — skipped
 
 
-def to_prometheus(registry, monitor=None) -> str:
-    """Render a registry (and optionally a health monitor) as text format."""
+def to_prometheus(registry, monitor=None, timeseries=None,
+                  instance=None) -> str:
+    """Render a registry (and optionally a health monitor) as text format.
+
+    With a :class:`~repro.obs.TimeSeriesRegistry` (``timeseries``), its
+    latency series are emitted as proper histogram families — cumulative
+    ``_bucket{le="..."}`` lines from the log-bucket boundaries plus
+    ``_sum`` / ``_count`` — under ``repro_ts_<series>``, labelled with
+    ``instance`` when given.
+    """
     families: Dict[str, list] = {}
+    histograms: Dict[str, list] = {}
 
     def emit(name: str, labels: str, value: float) -> None:
         families.setdefault(name, []).append((labels, value))
@@ -97,11 +106,33 @@ def to_prometheus(registry, monitor=None) -> str:
         for name, value in sorted(monitor.counters.items()):
             emit(f"{PREFIX}_health_{_sanitize(name)}", "", float(value))
 
+    if timeseries is not None:
+        inst = (f'instance="{_escape_label(instance)}"'
+                if instance is not None else "")
+        for name in timeseries.names():
+            if timeseries.kind(name) != "histogram":
+                continue
+            pairs, total, count = timeseries.histogram_cumulative(name)
+            base = f"{PREFIX}_ts_{_sanitize(name)}"
+            samples = []
+            for le, cum in pairs:
+                le_str = "+Inf" if le == float("inf") else _format_value(le)
+                labels = ",".join(p for p in (inst, f'le="{le_str}"') if p)
+                samples.append(f"{base}_bucket{{{labels}}} {cum}")
+            tail = f"{{{inst}}}" if inst else ""
+            samples.append(f"{base}_sum{tail} {_format_value(total)}")
+            samples.append(f"{base}_count{tail} {count}")
+            histograms[base] = samples
+
     lines = []
-    for name in sorted(families):
-        lines.append(f"# TYPE {name} gauge")
-        for labels, value in families[name]:
-            lines.append(f"{name}{labels} {_format_value(value)}")
+    for name in sorted(set(families) | set(histograms)):
+        if name in families:
+            lines.append(f"# TYPE {name} gauge")
+            for labels, value in families[name]:
+                lines.append(f"{name}{labels} {_format_value(value)}")
+        if name in histograms:
+            lines.append(f"# TYPE {name} histogram")
+            lines.extend(histograms[name])
     return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -4,8 +4,17 @@ An :class:`SLOSpec` states an objective over a service-level indicator —
 ``error_rate``: the fraction of failed requests stays under the error
 budget (``1 - objective``); ``latency``: a latency quantile stays under
 ``threshold`` sim-seconds.  The :class:`SLOEngine` samples each spec's
-cumulative counters on the monitor's heartbeat tick and evaluates the
-classic multi-window burn-rate rule (Google SRE workbook): an alert
+cumulative counters on the monitor's heartbeat tick, records the
+per-tick *increments* into ``slo.<name>.total`` / ``slo.<name>.bad``
+counter series in a :class:`~repro.obs.TimeSeriesRegistry`, and
+evaluates the classic multi-window burn-rate rule (Google SRE
+workbook) by *querying the store*: a window's (total, bad) is the sum
+of the counter buckets that start strictly after ``now - window``.
+With samples taken at bucket-aligned times (the monitor period is a
+multiple of the bucket width) this is bit-for-bit the same arithmetic
+as a private sample deque — the left window edge is the last sample at
+or before the cutoff, so the window delta is exactly the increments
+recorded strictly after it.  An alert
 fires when *both* the short and the long window of a pair burn the
 error budget faster than the pair's factor, and resolves when the pair
 clears.  Two pairs are evaluated per spec — a fast pair (page: short
@@ -28,6 +37,12 @@ from __future__ import annotations
 
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs import TimeSeriesRegistry
+
+#: bucket width of a private SLO store, sim-seconds; monitor periods
+#: are multiples of this, keeping window sums exact (see module doc)
+DEFAULT_BUCKET_WIDTH = 0.25
 
 #: default fast pair: (short window, long window, burn factor) — the
 #: "page" rule; sim-seconds, scaled for runs tens of seconds long
@@ -195,52 +210,71 @@ class AlertLog:
 
 
 class SLOEngine:
-    """Evaluates registered SLO specs over sliding sample windows."""
+    """Evaluates registered SLO specs over store-backed sliding windows.
+
+    Each spec owns two counter series in the time-series registry —
+    ``slo.<name>.total`` and ``slo.<name>.bad`` — holding the per-tick
+    increments of its cumulative sample.  The first sample is a
+    baseline and records nothing, so every window query ("buckets
+    starting strictly after the cutoff") reproduces the sample-deque
+    arithmetic exactly.
+    """
 
     def __init__(self, *, clock: Callable[[], float],
                  log: Optional[AlertLog] = None,
-                 exemplar_fn: Optional[Callable[[float], List[int]]] = None
-                 ) -> None:
+                 exemplar_fn: Optional[Callable[[float], List[int]]] = None,
+                 timeseries: Optional[TimeSeriesRegistry] = None,
+                 bucket_width: float = DEFAULT_BUCKET_WIDTH) -> None:
         self._clock = clock
         self.log = log if log is not None else AlertLog()
         #: ``exemplar_fn(window_start) -> [trace_id, ...]`` — supplied by
         #: the monitor, which can reach the deployment's span store
         self.exemplar_fn = exemplar_fn
-        #: spec name → (spec, sample_fn, samples deque)
-        self._specs: Dict[str, Tuple[SLOSpec, Callable[[], Any],
-                                     Deque[Tuple[float, float, float]]]] = {}
+        #: the backing store; a server passes its shared registry so SLO
+        #: series land next to the emitters', else we keep a private one
+        self.timeseries = (timeseries if timeseries is not None
+                           else TimeSeriesRegistry(clock=clock,
+                                                   bucket_width=bucket_width))
+        #: spec name → (spec, sample_fn)
+        self._specs: Dict[str, Tuple[SLOSpec, Callable[[], Any]]] = {}
+        #: spec name → last cumulative (total, bad); None until baselined
+        self._last: Dict[str, Optional[Tuple[float, float]]] = {}
 
     def add(self, spec: SLOSpec, sample_fn: Callable[[], Any]) -> SLOSpec:
         """Register a spec with its cumulative-sample source."""
         if spec.name in self._specs:
             raise ValueError(f"SLO {spec.name!r} already registered")
-        self._specs[spec.name] = (spec, sample_fn, deque())
+        self._specs[spec.name] = (spec, sample_fn)
+        self._last[spec.name] = None
         return spec
 
     def specs(self) -> List[SLOSpec]:
-        return [spec for spec, _fn, _s in self._specs.values()]
+        return [spec for spec, _fn in self._specs.values()]
 
     # -- sampling ----------------------------------------------------------
     def observe(self) -> None:
         """Take one sample of every spec and re-evaluate its windows."""
         now = self._clock()
-        for spec, sample_fn, samples in self._specs.values():
-            total, bad = self._cumulative(spec, sample_fn, samples)
-            samples.append((now, float(total), float(bad)))
-            horizon = now - max(spec.fast[1], spec.slow[1])
-            # keep one sample at-or-before the horizon as the left edge
-            while len(samples) > 1 and samples[1][0] <= horizon:
-                samples.popleft()
-            self._evaluate(spec, samples, now)
+        for name, (spec, sample_fn) in self._specs.items():
+            prev = self._last[name]
+            total, bad = self._cumulative(spec, sample_fn, prev)
+            self._last[name] = (float(total), float(bad))
+            if prev is not None:
+                d_total = float(total) - prev[0]
+                d_bad = float(bad) - prev[1]
+                if d_total:
+                    self.timeseries.inc(f"slo.{name}.total", d_total)
+                if d_bad:
+                    self.timeseries.inc(f"slo.{name}.bad", d_bad)
+            self._evaluate(spec, now)
 
-    def _cumulative(self, spec: SLOSpec, sample_fn, samples):
+    def _cumulative(self, spec: SLOSpec, sample_fn, prev):
         if spec.kind == "error_rate":
             total, bad = sample_fn()
             return total, bad
         # latency: one observation per tick, bad when over threshold
         value = sample_fn()
-        prev_total, prev_bad = (samples[-1][1], samples[-1][2]) \
-            if samples else (0.0, 0.0)
+        prev_total, prev_bad = prev if prev is not None else (0.0, 0.0)
         bad = 1.0 if (value is not None
                       and value > spec.threshold) else 0.0
         return prev_total + 1.0, prev_bad + bad
@@ -253,37 +287,27 @@ class SLOEngine:
         by the error budget: 1.0 means the budget is being spent exactly
         at the sustainable rate, ``k`` means ``k``× too fast.
         """
-        spec, _fn, samples = self._specs[name]
-        return self._burn(spec, samples, self._clock(), window)
+        spec, _fn = self._specs[name]
+        return self._burn(spec, self._clock(), window)
 
-    @staticmethod
-    def _window_edges(samples, now: float, window: float):
-        newest = samples[-1]
-        edge = samples[0]
+    def _window(self, name: str, now: float,
+                window: float) -> Tuple[float, float]:
+        """(total, bad) increments in the trailing ``window``."""
         cutoff = now - window
-        for sample in samples:
-            if sample[0] <= cutoff:
-                edge = sample
-            else:
-                break
-        return edge, newest
+        return (self.timeseries.window_sum(f"slo.{name}.total", cutoff),
+                self.timeseries.window_sum(f"slo.{name}.bad", cutoff))
 
-    def _burn(self, spec: SLOSpec, samples, now: float,
-              window: float) -> float:
-        if not samples:
-            return 0.0
-        edge, newest = self._window_edges(samples, now, window)
-        total = newest[1] - edge[1]
-        bad = newest[2] - edge[2]
+    def _burn(self, spec: SLOSpec, now: float, window: float) -> float:
+        total, bad = self._window(spec.name, now, window)
         if total <= 0:
             return 0.0
         return (bad / total) / spec.budget
 
-    def _evaluate(self, spec: SLOSpec, samples, now: float) -> None:
+    def _evaluate(self, spec: SLOSpec, now: float) -> None:
         for severity, (short, long_, factor) in (
                 (SEVERITY_PAGE, spec.fast), (SEVERITY_TICKET, spec.slow)):
-            burn_short = self._burn(spec, samples, now, short)
-            burn_long = self._burn(spec, samples, now, long_)
+            burn_short = self._burn(spec, now, short)
+            burn_long = self._burn(spec, now, long_)
             firing = burn_short >= factor and burn_long >= factor
             if firing:
                 exemplars = (self.exemplar_fn(now - long_)
@@ -299,22 +323,17 @@ class SLOEngine:
         """Per-spec compliance over the slow-long window (the widest)."""
         now = self._clock()
         out = {}
-        for name, (spec, _fn, samples) in sorted(self._specs.items()):
+        for name, (spec, _fn) in sorted(self._specs.items()):
             window = max(spec.fast[1], spec.slow[1])
-            if samples:
-                edge, newest = self._window_edges(samples, now, window)
-                total = newest[1] - edge[1]
-                bad = newest[2] - edge[2]
-            else:
-                total = bad = 0.0
+            total, bad = self._window(name, now, window)
             sli = 1.0 - (bad / total) if total > 0 else 1.0
             out[name] = {
                 "kind": spec.kind,
                 "objective": spec.objective,
                 "sli": sli,
                 "compliant": sli >= spec.objective or total == 0,
-                "burn_fast": self._burn(spec, samples, now, spec.fast[0]),
-                "burn_slow": self._burn(spec, samples, now, spec.slow[0]),
+                "burn_fast": self._burn(spec, now, spec.fast[0]),
+                "burn_slow": self._burn(spec, now, spec.slow[0]),
                 "window_total": total,
                 "window_bad": bad,
             }

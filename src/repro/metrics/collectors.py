@@ -66,6 +66,12 @@ class PipelineMetrics:
     Latency samples are reservoir-bounded per plane (count and mean stay
     exact over every request; percentiles are estimated from the
     reservoir), so a long-running server's metrics use O(1) memory.
+
+    When the server attaches its shared time-series registry
+    (``timeseries``), every observation is also recorded as sim-time
+    series — ``pipeline.requests.<plane>`` / ``pipeline.errors.<plane>``
+    counters and a ``pipeline.latency.<plane>`` histogram whose buckets
+    carry span-id exemplars — alongside the end-of-run snapshot path.
     """
 
     def __init__(self) -> None:
@@ -73,9 +79,12 @@ class PipelineMetrics:
         self._errors: Dict[str, int] = defaultdict(int)
         self._error_types: Dict[str, Dict[str, int]] = {}
         self._latencies: Dict[str, Reservoir] = defaultdict(Reservoir)
+        #: optional TimeSeriesRegistry sink, attached by the server
+        self.timeseries = None
 
     def observe(self, plane: str, latency: Optional[float] = None,
-                error_type: Optional[str] = None) -> None:
+                error_type: Optional[str] = None,
+                exemplar: Optional[int] = None) -> None:
         """Record one completed request on ``plane``."""
         self._requests[plane] += 1
         if latency is not None:
@@ -84,6 +93,14 @@ class PipelineMetrics:
             self._errors[plane] += 1
             by_type = self._error_types.setdefault(plane, defaultdict(int))
             by_type[error_type] += 1
+        ts = self.timeseries
+        if ts is not None:
+            ts.inc(f"pipeline.requests.{plane}")
+            if latency is not None:
+                ts.observe(f"pipeline.latency.{plane}", latency,
+                           exemplar=exemplar)
+            if error_type is not None:
+                ts.inc(f"pipeline.errors.{plane}")
 
     # -- reduction --------------------------------------------------------
     def requests(self, plane: Optional[str] = None) -> int:
@@ -143,6 +160,8 @@ class FederationMetrics:
     def __init__(self) -> None:
         self._counters: Dict[str, int] = defaultdict(int)
         self._staleness: Dict[str, Reservoir] = defaultdict(Reservoir)
+        #: optional TimeSeriesRegistry sink, attached by the server
+        self.timeseries = None
 
     def count(self, name: str, n: int = 1) -> None:
         self._counters[name] += n
@@ -153,6 +172,8 @@ class FederationMetrics:
     def observe_staleness(self, app_id: str, lag: float) -> None:
         """Record one remote update's age on arrival."""
         self._staleness[app_id].add(lag)
+        if self.timeseries is not None:
+            self.timeseries.observe("federation.staleness", lag)
 
     def staleness_stats(self, app_id: str) -> SummaryStats:
         reservoir = self._staleness.get(app_id)
@@ -190,6 +211,8 @@ class DirectoryMetrics:
     def __init__(self) -> None:
         self._counters: Dict[str, int] = defaultdict(int)
         self._read_latency = Reservoir()
+        #: optional TimeSeriesRegistry sink, attached by the server
+        self.timeseries = None
 
     def count(self, name: str, n: int = 1) -> None:
         self._counters[name] += n
@@ -200,6 +223,8 @@ class DirectoryMetrics:
     def observe_read(self, latency: float) -> None:
         """Record one successful directory read's round-trip time."""
         self._read_latency.add(latency)
+        if self.timeseries is not None:
+            self.timeseries.observe("directory.read_latency", latency)
 
     def read_stats(self) -> SummaryStats:
         return self._read_latency.stats()
@@ -207,6 +232,10 @@ class DirectoryMetrics:
     def read_samples(self) -> List[float]:
         """The reservoir's retained samples (for cross-server merging)."""
         return self._read_latency.samples()
+
+    def read_reservoir(self) -> Reservoir:
+        """The latency reservoir itself, for exact cross-server merges."""
+        return self._read_latency
 
     def snapshot(self) -> dict:
         out = dict(self._counters)
@@ -235,9 +264,13 @@ class StorageMetrics:
     def __init__(self) -> None:
         self._counters: Dict[str, int] = defaultdict(int)
         self.last_recovery_ms = 0.0
+        #: optional TimeSeriesRegistry sink, attached by the server
+        self.timeseries = None
 
     def count(self, name: str, n: int = 1) -> None:
         self._counters[name] += n
+        if self.timeseries is not None:
+            self.timeseries.inc(f"storage.{name}", n)
 
     def get(self, name: str) -> int:
         return self._counters.get(name, 0)

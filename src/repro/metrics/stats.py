@@ -81,6 +81,35 @@ class Reservoir:
             if slot < self.capacity:
                 self._samples[slot] = value
 
+    def merge(self, other: "Reservoir") -> "Reservoir":
+        """Fold another reservoir in without losing the tails.
+
+        The exact aggregates compose exactly: count and total add (so
+        the merged mean is the weighted mean), min/max take the extrema.
+        The retained sample set is a deterministic capacity-bounded
+        combination — when both sets fit they concatenate; otherwise
+        each side keeps a share of slots proportional to its *observed*
+        count, so the merged percentile estimate weights each source by
+        how much traffic it actually saw.
+        """
+        merged_count = self.count + other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        if len(self._samples) + len(other._samples) <= self.capacity:
+            self._samples.extend(other._samples)
+        elif merged_count > 0:
+            k_other = min(len(other._samples),
+                          round(self.capacity * (other.count / merged_count)))
+            k_self = min(len(self._samples), self.capacity - k_other)
+            k_other = min(len(other._samples), self.capacity - k_self)
+            self._samples = (self._samples[:k_self]
+                             + other._samples[:k_other])
+        self.count = merged_count
+        return self
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -22,6 +22,7 @@ from repro.obs.render import (format_critical_path, format_trace_summary,
                               format_trace_tree)
 from repro.obs.span import Span, TraceContext
 from repro.obs.store import PathSegment, SpanNode, SpanStore
+from repro.obs.timeseries import TimeSeriesRegistry, to_chrome_counters
 from repro.obs.tracer import SAMPLE_ALWAYS, SAMPLE_OFF, Tracer
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "StructuredLog",
     "TRACE_CTX_KEY",
     "TRACE_PARENT_KEY",
+    "TimeSeriesRegistry",
     "TraceContext",
     "Tracer",
     "TracingInterceptor",
@@ -44,6 +46,7 @@ __all__ = [
     "format_trace_summary",
     "format_trace_tree",
     "load_jsonl",
+    "to_chrome_counters",
     "to_chrome_trace",
     "to_jsonl_lines",
     "tree_signature",

@@ -1,0 +1,613 @@
+"""Sim-time-native time-series telemetry store.
+
+Counters, gauges, and latency histograms are recorded continuously into
+fixed-width sim-time buckets.  Retention is a ring per tier: when tier 0
+(finest) exceeds its bucket budget, the oldest bucket is downsampled
+into tier 1 (bucket width doubles per tier), and so on — long runs stay
+bounded while recent history keeps full resolution.
+
+Latency distributions use log-bucketed histograms (8 buckets per octave,
+~9.05% relative bucket width).  Bucket counts are plain integers keyed
+by the bucket index, so two histograms merge by adding counts — the
+merged quantiles are *identical* whether 200 per-server histograms are
+merged pairwise, in any order, or all the values were recorded into one
+combined histogram.  No re-sampling, no merge-order dependence.
+
+Recording is zero-event bookkeeping: nothing here schedules simulator
+events, charges CPU, or moves wire bytes.  The golden experiment tables
+are bit-for-bit unaffected by the plane being enabled.
+
+Everything outside ``repro.obs`` goes through the ``TimeSeriesRegistry``
+facade (boundary lint #7); ``LogHistogram``/``TimeSeries`` are internal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "LogHistogram",
+    "TimeSeries",
+    "TimeSeriesRegistry",
+    "to_chrome_counters",
+]
+
+# 8 histogram buckets per octave: bucket upper/lower ratio is 2^(1/8),
+# so any quantile read off a bucket boundary is within ~9.05% of the
+# exact value — inside the 10% recovery tolerance E13 asserts.
+BUCKETS_PER_OCTAVE = 8
+_INV_LOG_GROWTH = BUCKETS_PER_OCTAVE / math.log(2.0)
+_GROWTH = 2.0 ** (1.0 / BUCKETS_PER_OCTAVE)
+
+DEFAULT_BUCKET_WIDTH = 0.25  # sim-seconds per tier-0 bucket
+DEFAULT_MAX_BUCKETS = 256  # ring budget per tier
+DEFAULT_TIERS = 4  # tier t bucket width = width * 2**t
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+_KINDS = (COUNTER, GAUGE, HISTOGRAM)
+
+
+class LogHistogram:
+    """Mergeable log-bucketed histogram with exact aggregate moments.
+
+    ``count``/``total``/``minimum``/``maximum`` are exact; quantiles are
+    read from the log-bucket boundaries (clamped to the exact extrema).
+    Values ``<= 0`` land in a dedicated zero bucket.  Each bucket can
+    carry one exemplar (e.g. a span id); merge keeps the max exemplar so
+    the result is independent of merge order.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "zero", "buckets",
+                 "exemplars")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.zero = 0
+        self.buckets: Dict[int, int] = {}
+        self.exemplars: Dict[int, Any] = {}
+
+    @staticmethod
+    def bucket_index(value: float) -> Optional[int]:
+        """Log-bucket index for ``value``; None for the zero bucket."""
+        if value <= 0.0:
+            return None
+        return math.floor(math.log(value) * _INV_LOG_GROWTH)
+
+    @staticmethod
+    def bucket_upper(index: int) -> float:
+        """Exclusive upper bound of bucket ``index``."""
+        return _GROWTH ** (index + 1)
+
+    def add(self, value: float, exemplar: Any = None) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        index = self.bucket_index(value)
+        if index is None:
+            self.zero += 1
+            return
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        if exemplar is not None:
+            prior = self.exemplars.get(index)
+            if prior is None or exemplar > prior:
+                self.exemplars[index] = exemplar
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into self; commutative and associative."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        self.zero += other.zero
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        for index, exemplar in other.exemplars.items():
+            prior = self.exemplars.get(index)
+            if prior is None or exemplar > prior:
+                self.exemplars[index] = exemplar
+        return self
+
+    def copy(self) -> "LogHistogram":
+        out = LogHistogram()
+        out.merge(self)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], from bucket boundaries."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zero:
+            return min(self.maximum, 0.0)
+        seen = self.zero
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                upper = self.bucket_upper(index)
+                return max(self.minimum, min(upper, self.maximum))
+        return self.maximum
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Ascending ``(upper_bound, cumulative_count)`` pairs.
+
+        The final pair is ``(inf, count)`` — the shape Prometheus
+        ``_bucket{le=...}`` exposition wants.
+        """
+        out: List[Tuple[float, int]] = []
+        seen = self.zero
+        if self.zero:
+            out.append((0.0, seen))
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            out.append((self.bucket_upper(index), seen))
+        out.append((math.inf, self.count))
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.minimum,
+            "max": None if self.count == 0 else self.maximum,
+            "zero": self.zero,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+            "exemplars": {str(k): v
+                          for k, v in sorted(self.exemplars.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "LogHistogram":
+        out = cls()
+        out.count = int(doc["count"])
+        out.total = float(doc["total"])
+        out.minimum = math.inf if doc["min"] is None else float(doc["min"])
+        out.maximum = -math.inf if doc["max"] is None else float(doc["max"])
+        out.zero = int(doc["zero"])
+        out.buckets = {int(k): int(v) for k, v in doc["buckets"].items()}
+        out.exemplars = {int(k): v for k, v in doc["exemplars"].items()}
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LogHistogram(count={self.count}, mean={self.mean:.6g}, "
+                f"buckets={len(self.buckets)})")
+
+
+class TimeSeries:
+    """One named metric stream bucketed by sim time.
+
+    ``tiers[t]`` maps ``bucket_index -> value`` where the bucket covers
+    ``[index * width * 2**t, (index + 1) * width * 2**t)``.  New points
+    land in tier 0; when a tier exceeds ``max_buckets`` its oldest
+    bucket is folded into the parent bucket (``index // 2``) one tier
+    up, so tiers never overlap in time and a range query is just the
+    concatenation of every tier's in-range buckets.
+    """
+
+    __slots__ = ("name", "kind", "width", "max_buckets", "tiers", "points")
+
+    def __init__(self, name: str, kind: str, *,
+                 width: float = DEFAULT_BUCKET_WIDTH,
+                 max_buckets: int = DEFAULT_MAX_BUCKETS,
+                 n_tiers: int = DEFAULT_TIERS) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown series kind: {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.width = float(width)
+        self.max_buckets = int(max_buckets)
+        self.tiers: List[Dict[int, Any]] = [{} for _ in range(n_tiers)]
+        self.points = 0  # observations recorded (not buckets retained)
+
+    # -- recording ---------------------------------------------------
+
+    def _tier0(self, now: float) -> int:
+        return int(now // self.width)
+
+    def inc(self, now: float, n: float = 1.0) -> None:
+        tier = self.tiers[0]
+        index = int(now // self.width)
+        tier[index] = tier.get(index, 0.0) + n
+        self.points += 1
+        if len(tier) > self.max_buckets:
+            self._evict(0)
+
+    def set(self, now: float, value: float) -> None:
+        tier = self.tiers[0]
+        index = int(now // self.width)
+        tier[index] = value
+        self.points += 1
+        if len(tier) > self.max_buckets:
+            self._evict(0)
+
+    def observe(self, now: float, value: float, exemplar: Any = None) -> None:
+        tier = self.tiers[0]
+        index = int(now // self.width)
+        hist = tier.get(index)
+        if hist is None:
+            hist = tier[index] = LogHistogram()
+            if len(tier) > self.max_buckets:
+                self._evict(0)
+        hist.add(value, exemplar)
+        self.points += 1
+
+    def _evict(self, t: int) -> None:
+        """Downsample the oldest bucket of tier ``t`` into tier ``t+1``."""
+        tier = self.tiers[t]
+        while len(tier) > self.max_buckets:
+            oldest = min(tier)
+            value = tier.pop(oldest)
+            if t + 1 >= len(self.tiers):
+                continue  # beyond the coarsest tier: drop
+            parent = self.tiers[t + 1]
+            pidx = oldest // 2
+            if self.kind == COUNTER:
+                parent[pidx] = parent.get(pidx, 0.0) + value
+            elif self.kind == GAUGE:
+                # evicting in ascending order, the later child wins
+                parent[pidx] = value
+            else:
+                prior = parent.get(pidx)
+                if prior is None:
+                    parent[pidx] = value
+                else:
+                    prior.merge(value)
+            if len(parent) > self.max_buckets:
+                self._evict(t + 1)
+
+    # -- querying ----------------------------------------------------
+
+    def buckets_between(self, start: float,
+                        end: float) -> List[Tuple[float, float, Any]]:
+        """``(bucket_start, bucket_width, value)`` overlapping [start, end).
+
+        Sorted by bucket start; tiers are disjoint by construction.
+        """
+        out: List[Tuple[float, float, Any]] = []
+        for t, tier in enumerate(self.tiers):
+            w = self.width * (1 << t)
+            for index, value in tier.items():
+                t0 = index * w
+                if t0 < end and t0 + w > start:
+                    out.append((t0, w, value))
+        out.sort(key=lambda item: item[0])
+        return out
+
+    def window_sum(self, cutoff: float) -> float:
+        """Sum of counter buckets whose start lies strictly after ``cutoff``.
+
+        This is the SLO engine's window rule: with observations recorded
+        at bucket-aligned times, "bucket start > cutoff" is exactly
+        "observation time > cutoff" (see repro.health.slo).
+        """
+        total = 0.0
+        for t, tier in enumerate(self.tiers):
+            w = self.width * (1 << t)
+            for index, value in tier.items():
+                if index * w > cutoff:
+                    total += value
+        return total
+
+    def merged_histogram(self, start: float, end: float) -> LogHistogram:
+        merged = LogHistogram()
+        for _, _, value in self.buckets_between(start, end):
+            merged.merge(value)
+        return merged
+
+    def latest(self) -> Optional[Tuple[float, Any]]:
+        """``(bucket_start, value)`` of the most recent bucket, if any."""
+        best: Optional[Tuple[float, Any]] = None
+        for t, tier in enumerate(self.tiers):
+            if not tier:
+                continue
+            w = self.width * (1 << t)
+            index = max(tier)
+            t0 = index * w
+            if best is None or t0 > best[0]:
+                best = (t0, tier[index])
+        return best
+
+    # -- merge / serialization ---------------------------------------
+
+    def merge_from(self, other: "TimeSeries") -> "TimeSeries":
+        """Fold another server's series in, bucket by bucket.
+
+        Counters and gauges add (a fleet-level gauge is the sum of the
+        per-server gauges); histograms merge exactly.
+        """
+        if other.kind != self.kind or other.width != self.width:
+            raise ValueError(
+                f"cannot merge series {other.name!r} ({other.kind}, "
+                f"width={other.width}) into {self.name!r} "
+                f"({self.kind}, width={self.width})")
+        self.points += other.points
+        for t, tier in enumerate(other.tiers):
+            if t >= len(self.tiers):
+                self.tiers.append({})
+            mine = self.tiers[t]
+            for index, value in tier.items():
+                prior = mine.get(index)
+                if self.kind == HISTOGRAM:
+                    if prior is None:
+                        mine[index] = value.copy()
+                    else:
+                        prior.merge(value)
+                elif prior is None:
+                    mine[index] = value
+                else:
+                    mine[index] = prior + value
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        tiers: List[Dict[str, Any]] = []
+        for tier in self.tiers:
+            if self.kind == HISTOGRAM:
+                tiers.append({str(k): v.to_dict()
+                              for k, v in sorted(tier.items())})
+            else:
+                tiers.append({str(k): v for k, v in sorted(tier.items())})
+        return {"name": self.name, "kind": self.kind, "width": self.width,
+                "max_buckets": self.max_buckets, "points": self.points,
+                "tiers": tiers}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TimeSeries":
+        out = cls(doc["name"], doc["kind"], width=doc["width"],
+                  max_buckets=doc["max_buckets"],
+                  n_tiers=max(1, len(doc["tiers"])))
+        out.points = int(doc["points"])
+        for t, tier in enumerate(doc["tiers"]):
+            if out.kind == HISTOGRAM:
+                out.tiers[t] = {int(k): LogHistogram.from_dict(v)
+                                for k, v in tier.items()}
+            else:
+                out.tiers[t] = {int(k): v for k, v in tier.items()}
+        return out
+
+
+class TimeSeriesRegistry:
+    """Facade over a set of named series sharing one sim clock.
+
+    This is the only type the rest of the tree may name (boundary lint
+    #7): emitters call ``inc``/``set_gauge``/``observe`` and readers use
+    ``query``/``merged``/``to_dict``.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None, *,
+                 bucket_width: float = DEFAULT_BUCKET_WIDTH,
+                 max_buckets: int = DEFAULT_MAX_BUCKETS,
+                 n_tiers: int = DEFAULT_TIERS) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self.bucket_width = float(bucket_width)
+        self.max_buckets = int(max_buckets)
+        self.n_tiers = int(n_tiers)
+        self._series: Dict[str, TimeSeries] = {}
+
+    # -- series management -------------------------------------------
+
+    def _get(self, name: str, kind: str) -> TimeSeries:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(
+                name, kind, width=self.bucket_width,
+                max_buckets=self.max_buckets, n_tiers=self.n_tiers)
+        elif series.kind != kind:
+            raise ValueError(
+                f"series {name!r} is a {series.kind}, not a {kind}")
+        return series
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def series(self, name: str) -> Optional[TimeSeries]:
+        return self._series.get(name)
+
+    def kind(self, name: str) -> Optional[str]:
+        series = self._series.get(name)
+        return series.kind if series is not None else None
+
+    # -- recording ---------------------------------------------------
+
+    def inc(self, name: str, n: float = 1.0) -> None:
+        self._get(name, COUNTER).inc(self._clock(), n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._get(name, GAUGE).set(self._clock(), value)
+
+    def observe(self, name: str, value: float, exemplar: Any = None) -> None:
+        self._get(name, HISTOGRAM).observe(self._clock(), value, exemplar)
+
+    # -- querying ----------------------------------------------------
+
+    def _range(self, start: Optional[float],
+               end: Optional[float]) -> Tuple[float, float]:
+        if end is None:
+            # past the newest bucket edge so in-progress buckets count
+            end = self._clock() + self.bucket_width
+        if start is None:
+            start = -math.inf
+        return start, end
+
+    def query(self, name: str, fn: str = "points", *,
+              start: Optional[float] = None, end: Optional[float] = None,
+              q: float = 0.99) -> Any:
+        """Range/instant query over one series.
+
+        ``fn`` is one of:
+
+        - ``points``: list of per-bucket dicts (counters/gauges carry
+          ``value``; histograms carry count/mean/quantile/max).
+        - ``sum``: total over the range (counter buckets add; histogram
+          buckets contribute their counts).
+        - ``rate``: ``sum`` divided by the queried span.
+        - ``quantile``: quantile ``q`` of the merged histogram.
+        - ``instant``: the newest bucket (value, or quantile ``q``).
+        """
+        series = self._series.get(name)
+        if series is None:
+            raise KeyError(name)
+        start, end = self._range(start, end)
+        if fn == "points":
+            out = []
+            for t0, w, value in series.buckets_between(start, end):
+                if series.kind == HISTOGRAM:
+                    out.append({"t": t0, "width": w, "count": value.count,
+                                "mean": value.mean,
+                                "q": value.quantile(q), "max": value.maximum})
+                else:
+                    out.append({"t": t0, "width": w, "value": value})
+            return out
+        if fn == "sum":
+            total = 0.0
+            for _, _, value in series.buckets_between(start, end):
+                total += value.count if series.kind == HISTOGRAM else value
+            return total
+        if fn == "rate":
+            span = end - start
+            if not math.isfinite(span) or span <= 0:
+                return 0.0
+            return self.query(name, "sum", start=start, end=end) / span
+        if fn == "quantile":
+            if series.kind != HISTOGRAM:
+                raise ValueError(f"series {name!r} is not a histogram")
+            return series.merged_histogram(start, end).quantile(q)
+        if fn == "instant":
+            latest = series.latest()
+            if latest is None:
+                return None
+            value = latest[1]
+            return value.quantile(q) if series.kind == HISTOGRAM else value
+        raise ValueError(f"unknown query fn: {fn!r}")
+
+    def window_sum(self, name: str, cutoff: float) -> float:
+        """Counter sum over buckets starting strictly after ``cutoff``."""
+        series = self._series.get(name)
+        if series is None:
+            return 0.0
+        return series.window_sum(cutoff)
+
+    def histogram_summary(self, name: str, *, start: Optional[float] = None,
+                          end: Optional[float] = None) -> Dict[str, float]:
+        series = self._series.get(name)
+        if series is None or series.kind != HISTOGRAM:
+            raise KeyError(name)
+        s, e = self._range(start, end)
+        merged = series.merged_histogram(s, e)
+        return {
+            "count": merged.count,
+            "mean": merged.mean,
+            "p50": merged.quantile(0.50),
+            "p90": merged.quantile(0.90),
+            "p99": merged.quantile(0.99),
+            "max": merged.maximum if merged.count else 0.0,
+        }
+
+    def histogram_cumulative(self, name: str, *,
+                             start: Optional[float] = None,
+                             end: Optional[float] = None,
+                             ) -> Tuple[List[Tuple[float, int]], float, int]:
+        """``(le_pairs, sum, count)`` for Prometheus exposition."""
+        series = self._series.get(name)
+        if series is None or series.kind != HISTOGRAM:
+            raise KeyError(name)
+        s, e = self._range(start, end)
+        merged = series.merged_histogram(s, e)
+        return merged.cumulative(), merged.total, merged.count
+
+    def histogram_exemplars(self, name: str, *, start: Optional[float] = None,
+                            end: Optional[float] = None) -> List[Any]:
+        """Exemplars (e.g. span ids) attached to buckets in the range."""
+        series = self._series.get(name)
+        if series is None or series.kind != HISTOGRAM:
+            return []
+        s, e = self._range(start, end)
+        merged = series.merged_histogram(s, e)
+        return [merged.exemplars[k] for k in sorted(merged.exemplars)]
+
+    # -- fleet aggregation -------------------------------------------
+
+    def merge_from(self, other: "TimeSeriesRegistry") -> "TimeSeriesRegistry":
+        for name, series in other._series.items():
+            mine = self._series.get(name)
+            if mine is None:
+                self._series[name] = TimeSeries.from_dict(series.to_dict())
+            else:
+                mine.merge_from(series)
+        return self
+
+    @classmethod
+    def merged(cls, registries: Iterable["TimeSeriesRegistry"],
+               clock: Optional[Callable[[], float]] = None,
+               ) -> "TimeSeriesRegistry":
+        """Fleet-wide registry: per-bucket sums, exact histogram merges."""
+        registries = list(registries)
+        if clock is None and registries:
+            clock = registries[0]._clock
+        out = cls(clock)
+        for registry in registries:
+            out.merge_from(registry)
+        return out
+
+    # -- snapshot / serialization ------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Cheap MetricsRegistry-compatible summary (no bucket dump)."""
+        return {
+            "series": len(self._series),
+            "points": sum(s.points for s in self._series.values()),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": 1,
+            "bucket_width": self.bucket_width,
+            "time": self._clock(),
+            "series": [self._series[name].to_dict()
+                       for name in sorted(self._series)],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TimeSeriesRegistry":
+        frozen = float(doc.get("time", 0.0))
+        out = cls(clock=lambda: frozen,
+                  bucket_width=doc.get("bucket_width", DEFAULT_BUCKET_WIDTH))
+        for series_doc in doc["series"]:
+            series = TimeSeries.from_dict(series_doc)
+            out._series[series.name] = series
+        return out
+
+
+def to_chrome_counters(registry: TimeSeriesRegistry, *,
+                       scale: float = 1e6) -> List[Dict[str, Any]]:
+    """Chrome trace-event counter tracks (``ph: "C"``) for every series.
+
+    Load the output next to the PR 4 span export in ``chrome://tracing``
+    / Perfetto; ``scale`` converts sim-seconds to microseconds.
+    """
+    events: List[Dict[str, Any]] = []
+    for name in registry.names():
+        series = registry.series(name)
+        for t0, _, value in series.buckets_between(-math.inf, math.inf):
+            if series.kind == HISTOGRAM:
+                args = {"count": value.count,
+                        "p99": value.quantile(0.99)}
+            else:
+                args = {"value": value}
+            events.append({"name": name, "ph": "C", "pid": 1, "tid": 1,
+                           "ts": t0 * scale, "args": args})
+    return events

@@ -176,7 +176,10 @@ class MetricsInterceptor(Interceptor):
     """Per-plane request counters and latency histograms (ROADMAP: make the
     middleware observable before scaling it further).
 
-    Feeds a shared :class:`repro.metrics.PipelineMetrics`.
+    Feeds a shared :class:`repro.metrics.PipelineMetrics`.  When tracing
+    is on, the request's span id rides along as the latency histogram's
+    bucket exemplar, so a time-series latency spike links back to a
+    concrete :class:`~repro.obs.SpanStore` trace.
     """
 
     name = "metrics"
@@ -185,10 +188,16 @@ class MetricsInterceptor(Interceptor):
                  plane: Optional[str] = None) -> None:
         self.metrics = metrics
         self.plane = plane
+        # deferred: repro.obs imports the pipeline package
+        from repro.obs import TRACE_CTX_KEY
+        self._trace_key = TRACE_CTX_KEY
 
     def _observe(self, ctx: RequestContext, error_type: Optional[str]) -> None:
+        span_ctx = ctx.attrs.get(self._trace_key)
         self.metrics.observe(self.plane or ctx.plane, latency=ctx.elapsed,
-                             error_type=error_type)
+                             error_type=error_type,
+                             exemplar=(span_ctx.span_id
+                                       if span_ctx is not None else None))
 
     def after(self, ctx: RequestContext) -> None:
         self._observe(ctx, ctx.attrs.get("error_type"))

@@ -64,6 +64,10 @@ class StateJournal:
         #: 0 disables automatic snapshots (explicit take_snapshot only)
         self.snapshot_every = snapshot_every
         self.metrics = metrics
+        #: optional TimeSeriesRegistry sink, attached by the server: WAL
+        #: append wall-clock cost lands in a ``storage.wal_append_us``
+        #: histogram (real microseconds — telemetry, never asserted)
+        self.timeseries = None
         self.recovering = False
         self._planes: Dict[str, _Plane] = {}
         self._since_snapshot = 0
@@ -86,7 +90,12 @@ class StateJournal:
         re-journal the history it is reading)."""
         if self.recovering:
             return None
+        ts = self.timeseries
+        t0 = time.perf_counter() if ts is not None else 0.0
         record = self.wal.append(kind, data, at=self.clock())
+        if ts is not None:
+            ts.observe("storage.wal_append_us",
+                       (time.perf_counter() - t0) * 1e6)
         self._count("wal_appends")
         self._since_snapshot += 1
         if self.snapshot_every and self._since_snapshot >= self.snapshot_every:

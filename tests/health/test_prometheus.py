@@ -3,7 +3,7 @@
 import pytest
 
 from repro.health import parse_prometheus, to_prometheus
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TimeSeriesRegistry
 
 
 class Source:
@@ -72,6 +72,31 @@ class TestExport:
                          ("server", "srvA")))] == 3.0
         assert samples[("repro_alerts_fired", ())] == 2.0
         assert samples[("repro_health_failovers", ())] == 3.0
+
+    def test_timeseries_histogram_families(self):
+        ts = TimeSeriesRegistry(bucket_width=1.0)
+        for v in (0.0, 0.010, 0.010, 0.050, 2.0):
+            ts.observe("pipeline.latency.http", v)
+        ts.inc("pipeline.requests.http", 5)  # counters are not exposed here
+        text = to_prometheus(None, timeseries=ts, instance="srvA")
+        assert "# TYPE repro_ts_pipeline_latency_http histogram" in text
+        samples = parse_prometheus(text)
+        base = "repro_ts_pipeline_latency_http"
+        inst = ("instance", "srvA")
+        assert samples[(f"{base}_count", (inst,))] == 5.0
+        assert samples[(f"{base}_sum", (inst,))] == pytest.approx(2.07)
+        inf_key = (f"{base}_bucket", (inst, ("le", "+Inf")))
+        assert samples[inf_key] == 5.0
+        # buckets are cumulative and monotone in le
+        buckets = sorted(
+            ((dict(labels)["le"], value) for (name, labels), value
+             in samples.items() if name == f"{base}_bucket"),
+            key=lambda kv: float(kv[0].replace("+Inf", "inf")))
+        counts = [v for _, v in buckets]
+        assert counts == sorted(counts)
+        assert buckets[0] == ("0", 1.0)  # the zero bucket
+        # no counter family leaked into the histogram exposition
+        assert not any("requests" in name for name, _ in samples)
 
 
 class TestParser:

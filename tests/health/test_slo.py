@@ -212,3 +212,93 @@ class TestAlertLog:
         record = json.loads(json.dumps(alert.to_record()))
         assert record["slo"] == "a"
         assert record["exemplars"] == [3]
+
+
+class TestStoreBackedParity:
+    """The engine's windows are *queries* over the shared time-series
+    store; burn rates and page/ticket decisions must match what the raw
+    bucket series hand-compute — and what the private-accumulator tests
+    above established."""
+
+    def make_store_engine(self):
+        from repro.obs import TimeSeriesRegistry
+
+        clock = Clock()
+        ts = TimeSeriesRegistry(clock=clock, bucket_width=0.25)
+        engine = SLOEngine(clock=clock, timeseries=ts)
+        source = Source()
+        spec = SLOSpec("err", objective=0.9,
+                       fast=(1.0, 2.0, 5.0), slow=(2.0, 4.0, 2.0))
+        engine.add(spec, source)
+        return clock, engine, source, ts, spec
+
+    def test_burn_rates_match_hand_computed_bucket_sums(self):
+        clock, engine, source, ts, spec = self.make_store_engine()
+        for t, good, bad in ((0.0, 10, 0), (1.0, 5, 5), (2.0, 10, 0)):
+            clock.now = t
+            source.add(good, bad=bad)
+            engine.observe()
+
+        def burn_from_buckets(window):
+            cutoff = clock.now - window
+            total = ts.window_sum("slo.err.total", cutoff)
+            bad = ts.window_sum("slo.err.bad", cutoff)
+            return (bad / total) / spec.budget if total else 0.0
+
+        for window in (1.0, 2.0, 4.0):
+            assert engine.burn_rate("err", window) == burn_from_buckets(window)
+        # and the PR 5 hand-computed expectations still hold exactly
+        assert engine.burn_rate("err", 1.0) == 0.0
+        assert engine.burn_rate("err", 2.0) == pytest.approx(2.5)
+
+    def test_decisions_match_synthetic_bucket_series(self):
+        clock, engine, source, ts, spec = self.make_store_engine()
+        source.add(10)
+        engine.observe()
+        clock.now = 1.0
+        source.add(0, bad=10)
+        engine.observe()
+
+        # hand-evaluate the multi-window rule from the raw bucket dump
+        totals = {p["t"]: p["value"]
+                  for p in ts.query("slo.err.total", "points")}
+        bads = {p["t"]: p["value"]
+                for p in ts.query("slo.err.bad", "points")}
+
+        def burn(window):
+            total = sum(v for t, v in totals.items()
+                        if t > clock.now - window)
+            bad = sum(v for t, v in bads.items() if t > clock.now - window)
+            return (bad / total) / spec.budget if total else 0.0
+
+        page = (burn(spec.fast[0]) >= spec.fast[2]
+                and burn(spec.fast[1]) >= spec.fast[2])
+        ticket = (burn(spec.slow[0]) >= spec.slow[2]
+                  and burn(spec.slow[1]) >= spec.slow[2])
+        assert page and ticket
+        assert [(a.slo, a.severity) for a in engine.log.active()] == [
+            ("err", SEVERITY_PAGE), ("err", SEVERITY_TICKET)]
+        assert engine.log.active()[0].burn_short == pytest.approx(10.0)
+
+    def test_store_backed_engine_matches_private_engine_bitwise(self):
+        """Same input stream -> identical burn rates and alert history,
+        whether the engine writes to a shared fleet registry or its own
+        private one."""
+        clock_a, engine_a, source_a = make_engine()
+        clock_b, engine_b, source_b, _ts, _spec = self.make_store_engine()
+        schedule = [(0.0, 10, 0), (0.5, 3, 1), (1.0, 0, 10), (1.5, 0, 5),
+                    (3.0, 100, 0), (4.5, 100, 0), (6.0, 100, 0),
+                    (8.0, 100, 0)]
+        for t, good, bad in schedule:
+            for clock, engine, source in ((clock_a, engine_a, source_a),
+                                          (clock_b, engine_b, source_b)):
+                clock.now = t
+                source.add(good, bad=bad)
+                engine.observe()
+            for window in (1.0, 2.0, 4.0):
+                assert (engine_a.burn_rate("err", window)
+                        == engine_b.burn_rate("err", window))
+        hist_a = [a.to_record() for a in engine_a.log.history()]
+        hist_b = [a.to_record() for a in engine_b.log.history()]
+        assert hist_a == hist_b
+        assert engine_a.compliance() == engine_b.compliance()

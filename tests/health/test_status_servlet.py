@@ -31,6 +31,7 @@ def test_status_json_view(collab):
 
 def test_status_prom_view_parses(collab):
     server = collab.server_of(0)
+    scrape_status(collab)  # at least one HTTP request in the store
     text = scrape_status(collab, params={"format": "prom"})
     assert isinstance(text, str)
     samples = parse_prometheus(text)
@@ -41,6 +42,41 @@ def test_status_prom_view_parses(collab):
     # the full registry rides along: pipeline counters are in there
     assert any(name.startswith("repro_pipeline_")
                for name, _labels in samples)
+    # ...and the time-series store's latency histograms, as proper
+    # _bucket/_sum/_count families labelled with this instance
+    base = "repro_ts_pipeline_latency_http"
+    assert f"# TYPE {base} histogram" in text
+    inst = ("instance", server.name)
+    count = samples[(f"{base}_count", (inst,))]
+    assert count >= 1.0
+    assert samples[(f"{base}_bucket", (inst, ("le", "+Inf")))] == count
+
+
+def test_status_timeseries_views(collab):
+    server = collab.server_of(0)
+    scrape_status(collab)  # at least one HTTP request in the store
+    body = scrape_status(collab, path="/status/timeseries")
+    assert body["server"] == server.name
+    assert body["bucket_width"] == server.timeseries.bucket_width
+    series = body["series"]
+    assert series["pipeline.requests.http"]["kind"] == "counter"
+    assert series["pipeline.requests.http"]["sum"] >= 1
+    lat = series["pipeline.latency.http"]
+    assert lat["kind"] == "histogram"
+    assert lat["count"] >= 1 and lat["p50"] <= lat["p99"] <= lat["max"]
+
+    # one series' bucket dump, with an explicit quantile
+    body = scrape_status(collab, path="/status/timeseries",
+                         params={"series": "pipeline.latency.http",
+                                 "q": "0.5"})
+    assert body["kind"] == "histogram"
+    assert body["points"] and all(p["count"] >= 1 for p in body["points"])
+
+    # unknown series maps to 400 through the error envelope
+    from repro.web.client import HttpError
+    with pytest.raises(HttpError):
+        scrape_status(collab, path="/status/timeseries",
+                      params={"series": "no.such.series"})
 
 
 def test_status_app_detail(collab):

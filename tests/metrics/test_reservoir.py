@@ -1,6 +1,9 @@
 """Reservoir: bounded memory with exact aggregates (the fix for the
 unbounded collector growth in PipelineMetrics / FederationMetrics)."""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.metrics import FederationMetrics, PipelineMetrics, Reservoir
 
 
@@ -41,6 +44,80 @@ def test_empty_and_small_reservoirs():
     stats = res.stats()
     assert stats.count == 1
     assert stats.mean == stats.minimum == stats.maximum == 2.5
+
+
+def test_merge_composes_aggregates_exactly():
+    a, b = Reservoir(capacity=64), Reservoir(capacity=64)
+    for i in range(1000):
+        a.add(float(i))
+    for i in range(500):
+        b.add(float(i) + 2000.0)
+    a.merge(b)
+    assert a.count == 1500
+    assert a.mean == (sum(range(1000)) + sum(i + 2000.0
+                                             for i in range(500))) / 1500
+    assert a.minimum == 0.0
+    assert a.maximum == 2499.0
+    assert len(a) <= 64  # memory still bounded after the merge
+
+
+def test_merge_small_reservoirs_concatenates():
+    a, b = Reservoir(capacity=64), Reservoir(capacity=64)
+    for v in (1.0, 2.0):
+        a.add(v)
+    b.add(10.0)
+    a.merge(b)
+    assert sorted(a.samples()) == [1.0, 2.0, 10.0]
+    assert a.count == 3
+
+
+def test_merge_with_empty_is_identity():
+    a = Reservoir(capacity=8)
+    for i in range(100):
+        a.add(float(i))
+    before = (a.count, a.total, a.minimum, a.maximum, a.samples())
+    a.merge(Reservoir(capacity=8))
+    assert (a.count, a.total, a.minimum, a.maximum, a.samples()) == before
+    b = Reservoir(capacity=8)
+    b.merge(a)
+    assert (b.count, b.total, b.minimum, b.maximum) == before[:4]
+
+
+def test_merge_sample_share_is_traffic_weighted():
+    # one side saw 9x the traffic: it keeps ~90% of the merged slots
+    a, b = Reservoir(capacity=100), Reservoir(capacity=100)
+    for i in range(9000):
+        a.add(0.0)
+    for i in range(1000):
+        b.add(1.0)
+    a.merge(b)
+    kept_b = sum(1 for v in a.samples() if v == 1.0)
+    assert len(a) == 100
+    assert kept_b == 10
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=0, max_size=300),
+       st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=0, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_merge_aggregates_match_single_stream(xs, ys):
+    merged = Reservoir(capacity=32)
+    for v in xs:
+        merged.add(v)
+    other = Reservoir(capacity=32)
+    for v in ys:
+        other.add(v)
+    merged.merge(other)
+    single = Reservoir(capacity=32)
+    for v in xs + ys:
+        single.add(v)
+    assert merged.count == single.count
+    assert merged.total == sum(xs) + sum(ys)
+    if xs or ys:
+        assert merged.minimum == min(xs + ys)
+        assert merged.maximum == max(xs + ys)
+    assert len(merged) <= 32
 
 
 def test_pipeline_metrics_latencies_are_bounded():

@@ -124,3 +124,44 @@ class TestServerIntegration:
         assert drops[0]["level"] == "warning"
         assert server.health.counters["channel_failures"] == 1
         collab.stop()
+
+
+class TestOverflowVisibility:
+    def test_ring_overflow_counts_drops(self):
+        log = StructuredLog(capacity=4)
+        for i in range(10):
+            log.event("e", i=i)
+        assert len(log) == 4
+        assert log.dropped == 6
+        assert log.snapshot() == {"records": 4, "dropped": 6,
+                                  "events": {"e": 10}}
+
+    def test_drops_surface_in_registry_and_bench_row(self):
+        """Ring overflow is a first-class counter: visible in the unified
+        metrics registry snapshot, the bench row, and the obs: footer —
+        never a silent loss."""
+        from repro.bench.report import format_pipeline_summary
+        from repro.bench.scenarios import pipeline_counters
+        from repro.core.deployment import build_single_server
+
+        collab = build_single_server(app_hosts=1, client_hosts=1)
+        collab.run_bootstrap()
+        server = collab.server_of(0)
+        server.log._records = type(server.log._records)(maxlen=2)
+        for i in range(7):
+            server.log.event("spam", i=i)
+
+        snap = collab.metrics_registry().snapshot()
+        log_snap = snap[f"log[{server.name}]"]
+        assert log_snap["dropped"] == 5
+        assert log_snap["records"] == 2
+        assert f"timeseries[{server.name}]" in snap
+
+        row = pipeline_counters(collab.servers.values())
+        assert row["log_dropped"] == 5
+        assert row["log_records"] == 2
+        assert row["ts_series"] >= 0
+
+        footer = format_pipeline_summary([row])
+        assert "obs: log_records=2 log_dropped=5" in footer
+        collab.stop()

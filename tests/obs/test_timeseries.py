@@ -1,0 +1,336 @@
+"""The time-series telemetry store: log-bucket histograms, tiered
+retention, range queries, and exact fleet-wide merges."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import TimeSeriesRegistry, to_chrome_counters
+from repro.obs.timeseries import BUCKETS_PER_OCTAVE, LogHistogram, TimeSeries
+
+#: one log bucket spans a 2^(1/8) ratio, so any boundary readout is
+#: within this factor of the exact sample value
+GROWTH = 2.0 ** (1.0 / BUCKETS_PER_OCTAVE)
+
+
+def hist_key(h):
+    """Everything exact about a histogram (total is a float sum, whose
+    last ulp can depend on merge order — deliberately excluded)."""
+    return (h.count, h.zero, h.minimum, h.maximum,
+            tuple(sorted(h.buckets.items())))
+
+
+class TestLogHistogram:
+    def test_exact_aggregates(self):
+        h = LogHistogram()
+        values = [0.001, 0.5, 2.0, 2.0, 150.0]
+        for v in values:
+            h.add(v)
+        assert h.count == 5
+        assert h.total == pytest.approx(sum(values))
+        assert h.minimum == 0.001
+        assert h.maximum == 150.0
+        assert h.mean == pytest.approx(sum(values) / 5)
+
+    def test_zero_and_negative_land_in_zero_bucket(self):
+        h = LogHistogram()
+        h.add(0.0)
+        h.add(-3.0)
+        h.add(1.0)
+        assert h.zero == 2
+        assert h.quantile(0.5) == 0.0  # rank 2 of 3 is in the zero bucket
+        assert h.minimum == -3.0
+
+    def test_quantile_within_one_bucket_of_truth(self):
+        rng = random.Random(7)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(5000)]
+        h = LogHistogram()
+        for v in values:
+            h.add(v)
+        values.sort()
+        for q in (0.50, 0.90, 0.99):
+            exact = values[max(0, math.ceil(q * len(values)) - 1)]
+            approx = h.quantile(q)
+            assert exact / GROWTH <= approx <= exact * GROWTH
+
+    def test_quantile_clamped_to_extrema(self):
+        h = LogHistogram()
+        h.add(10.0)
+        assert h.quantile(0.5) == 10.0
+        assert h.quantile(1.0) == 10.0
+        assert LogHistogram().quantile(0.5) == 0.0
+
+    def test_merge_identity_200_servers(self):
+        """Merged quantiles are identical to one combined histogram —
+        the E13 fleet-aggregation guarantee, for 200 per-server streams
+        merged in any order."""
+        rng = random.Random(13)
+        per_server = [[rng.expovariate(1.0 / 0.05) for _ in range(50)]
+                      for _ in range(200)]
+        combined = LogHistogram()
+        for values in per_server:
+            for v in values:
+                combined.add(v)
+        hists = []
+        for values in per_server:
+            h = LogHistogram()
+            for v in values:
+                h.add(v)
+            hists.append(h)
+        rng.shuffle(hists)
+        merged = LogHistogram()
+        for h in hists:
+            merged.merge(h)
+        assert hist_key(merged) == hist_key(combined)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            assert merged.quantile(q) == combined.quantile(q)
+
+    def test_merge_keeps_max_exemplar(self):
+        a, b = LogHistogram(), LogHistogram()
+        a.add(1.0, exemplar=3)
+        b.add(1.0, exemplar=9)
+        ab = a.copy().merge(b)
+        ba = b.copy().merge(a)
+        assert hist_key(ab) == hist_key(ba)
+        index = LogHistogram.bucket_index(1.0)
+        assert ab.exemplars[index] == ba.exemplars[index] == 9
+
+    def test_cumulative_ends_at_inf_total(self):
+        h = LogHistogram()
+        for v in (0.0, 0.1, 0.2, 5.0):
+            h.add(v)
+        pairs = h.cumulative()
+        assert pairs[0] == (0.0, 1)  # the zero bucket
+        assert pairs[-1] == (math.inf, 4)
+        counts = [c for _, c in pairs]
+        assert counts == sorted(counts)
+
+    def test_dict_round_trip(self):
+        h = LogHistogram()
+        for i, v in enumerate((0.0, 0.5, 1.5, 20.0)):
+            h.add(v, exemplar=i)
+        back = LogHistogram.from_dict(h.to_dict())
+        assert hist_key(back) == hist_key(h)
+        assert back.total == h.total
+        assert back.exemplars == h.exemplars
+
+
+@given(st.lists(st.floats(min_value=1e-9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=200),
+       st.integers(min_value=2, max_value=5))
+@settings(max_examples=50, deadline=None)
+def test_merge_partition_invariance(values, n_parts):
+    """Any partition of the sample stream merges back to the same
+    histogram (hypothesis over values and split count)."""
+    combined = LogHistogram()
+    for v in values:
+        combined.add(v)
+    parts = [LogHistogram() for _ in range(n_parts)]
+    for i, v in enumerate(values):
+        parts[i % n_parts].add(v)
+    merged = LogHistogram()
+    for part in reversed(parts):
+        merged.merge(part)
+    assert hist_key(merged) == hist_key(combined)
+    assert merged.quantile(0.99) == combined.quantile(0.99)
+
+
+class TestTimeSeriesRetention:
+    def test_counter_sum_survives_downsampling(self):
+        # 100 tier-0 buckets against a 16-bucket ring: eviction must fold
+        # them upward without losing a single count (total tier capacity
+        # 16 * (1+2+4+8) = 240 bucket widths, so nothing falls off)
+        series = TimeSeries("c", "counter", width=1.0, max_buckets=16,
+                            n_tiers=4)
+        for t in range(100):
+            series.inc(float(t), 2.0)
+        total = sum(v for _, _, v in
+                    series.buckets_between(-math.inf, math.inf))
+        assert total == 200.0
+        # retention stays bounded per tier, and downsampling happened
+        assert all(len(tier) <= 16 for tier in series.tiers)
+        assert any(series.tiers[t] for t in range(1, 4))
+
+    def test_tiers_are_time_disjoint(self):
+        series = TimeSeries("c", "counter", width=1.0, max_buckets=8,
+                            n_tiers=3)
+        for t in range(200):
+            series.inc(float(t))
+        spans = [(t0, t0 + w) for t0, w, _ in
+                 series.buckets_between(-math.inf, math.inf)]
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_histogram_count_survives_downsampling(self):
+        series = TimeSeries("h", "histogram", width=1.0, max_buckets=8,
+                            n_tiers=5)
+        for t in range(100):
+            series.observe(float(t), 0.01 * (1 + t % 7))
+        merged = series.merged_histogram(-math.inf, math.inf)
+        assert merged.count == 100
+        assert merged.maximum == 0.07
+        assert any(series.tiers[t] for t in range(1, 5))
+
+    def test_gauge_downsample_keeps_latest_child(self):
+        series = TimeSeries("g", "gauge", width=1.0, max_buckets=4,
+                            n_tiers=2)
+        for t in range(20):
+            series.set(float(t), float(t))
+        buckets = series.buckets_between(-math.inf, math.inf)
+        # every retained parent bucket carries its later child's value
+        for t0, w, value in buckets:
+            if w == 2.0:
+                assert value == t0 + 1.0
+
+    def test_beyond_coarsest_tier_drops(self):
+        series = TimeSeries("c", "counter", width=1.0, max_buckets=2,
+                            n_tiers=2)
+        for t in range(100):
+            series.inc(float(t))
+        assert len(series.tiers) == 2
+        assert all(len(tier) <= 2 for tier in series.tiers)
+
+
+class TestRegistryQueries:
+    def make(self, width=1.0):
+        clock = {"now": 0.0}
+        reg = TimeSeriesRegistry(clock=lambda: clock["now"],
+                                 bucket_width=width)
+        return reg, clock
+
+    def test_counter_points_sum_rate(self):
+        reg, clock = self.make()
+        for now in (0.0, 0.5, 1.0, 2.25):
+            clock["now"] = now
+            reg.inc("reqs")
+        points = reg.query("reqs", "points")
+        assert [(p["t"], p["value"]) for p in points] == [
+            (0.0, 2.0), (1.0, 1.0), (2.0, 1.0)]
+        assert reg.query("reqs", "sum") == 4.0
+        assert reg.query("reqs", "sum", start=1.0) == 2.0
+        assert reg.query("reqs", "rate", start=0.0, end=4.0) == 1.0
+        assert reg.query("reqs", "instant") == 1.0
+
+    def test_histogram_quantile_and_instant(self):
+        reg, clock = self.make()
+        for i in range(100):
+            clock["now"] = i * 0.1
+            reg.observe("lat", 0.010 if i < 99 else 1.0)
+        q99 = reg.query("lat", "quantile", q=0.99)
+        assert 0.010 / GROWTH <= q99 <= 0.010 * GROWTH
+        assert reg.query("lat", "quantile", q=1.0) == 1.0
+        points = reg.query("lat", "points", q=0.5)
+        assert sum(p["count"] for p in points) == 100
+
+    def test_gauge_instant_is_latest(self):
+        reg, clock = self.make()
+        reg.set_gauge("healthy", 3)
+        clock["now"] = 5.0
+        reg.set_gauge("healthy", 2)
+        assert reg.query("healthy", "instant") == 2
+
+    def test_unknown_series_and_bad_fn(self):
+        reg, _ = self.make()
+        with pytest.raises(KeyError):
+            reg.query("nope")
+        reg.inc("c")
+        with pytest.raises(ValueError):
+            reg.query("c", "quantile")
+        with pytest.raises(ValueError):
+            reg.query("c", "median")
+        with pytest.raises(ValueError):
+            reg.observe("c", 1.0)  # kind mismatch
+        assert reg.window_sum("nope", 0.0) == 0.0
+
+    def test_window_sum_is_strict(self):
+        reg, clock = self.make(width=0.25)
+        for now in (0.25, 0.5, 0.75):
+            clock["now"] = now
+            reg.inc("c")
+        assert reg.window_sum("c", 0.25) == 2.0  # bucket at 0.25 excluded
+        assert reg.window_sum("c", 0.0) == 3.0
+
+    def test_exemplars_surface_through_registry(self):
+        reg, clock = self.make()
+        reg.observe("lat", 0.05, exemplar="span-1")
+        clock["now"] = 3.0
+        reg.observe("lat", 0.05, exemplar="span-9")
+        assert reg.histogram_exemplars("lat") == ["span-9"]
+        assert reg.histogram_exemplars("missing") == []
+
+
+class TestFleetMerge:
+    def test_merged_equals_single_recorder(self):
+        rng = random.Random(29)
+        clock = {"now": 0.0}
+        servers = [TimeSeriesRegistry(clock=lambda: clock["now"],
+                                      bucket_width=1.0) for _ in range(20)]
+        single = TimeSeriesRegistry(clock=lambda: clock["now"],
+                                    bucket_width=1.0)
+        for _ in range(2000):
+            clock["now"] = rng.uniform(0.0, 50.0)
+            server = rng.choice(servers)
+            v = rng.expovariate(10.0)
+            server.inc("reqs")
+            server.observe("lat", v)
+            single.inc("reqs")
+            single.observe("lat", v)
+        clock["now"] = 50.0
+        merged = TimeSeriesRegistry.merged(servers)
+        assert merged.names() == single.names()
+        assert merged.query("reqs", "sum") == single.query("reqs", "sum")
+        for q in (0.5, 0.9, 0.99):
+            assert (merged.query("lat", "quantile", q=q)
+                    == single.query("lat", "quantile", q=q))
+        assert (merged.histogram_summary("lat")["count"]
+                == single.histogram_summary("lat")["count"])
+
+    def test_merge_rejects_mismatched_series(self):
+        a = TimeSeriesRegistry(bucket_width=1.0)
+        b = TimeSeriesRegistry(bucket_width=0.5)
+        a.inc("c")
+        b.inc("c")
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+    def test_merge_does_not_alias_source_histograms(self):
+        a = TimeSeriesRegistry(bucket_width=1.0)
+        a.observe("lat", 0.1)
+        merged = TimeSeriesRegistry.merged([a])
+        merged.observe("lat", 9.0)
+        assert a.histogram_summary("lat")["count"] == 1
+
+
+class TestSerialization:
+    def test_registry_round_trip_is_exact(self):
+        clock = {"now": 0.0}
+        reg = TimeSeriesRegistry(clock=lambda: clock["now"],
+                                 bucket_width=0.5)
+        for i in range(50):
+            clock["now"] = i * 0.3
+            reg.inc("reqs")
+            reg.observe("lat", 0.01 * (1 + i % 5), exemplar=i)
+            reg.set_gauge("healthy", i % 3)
+        doc = reg.to_dict()
+        reloaded = TimeSeriesRegistry.from_dict(doc)
+        assert reloaded.to_dict() == doc
+        assert reloaded.names() == reg.names()
+        assert (reloaded.query("lat", "quantile", q=0.99)
+                == reg.query("lat", "quantile", q=0.99))
+        assert reloaded.snapshot() == reg.snapshot()
+
+    def test_chrome_counter_export(self):
+        reg = TimeSeriesRegistry(bucket_width=1.0)
+        reg.inc("reqs", 3)
+        reg.observe("lat", 0.25)
+        events = to_chrome_counters(reg, scale=1e6)
+        assert all(e["ph"] == "C" for e in events)
+        by_name = {e["name"]: e for e in events}
+        assert by_name["reqs"]["args"] == {"value": 3.0}
+        assert by_name["lat"]["args"]["count"] == 1
+        assert by_name["reqs"]["ts"] == 0.0

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lint: architectural boundaries the refactors carved out must hold.
 
-Three checks, all AST-based:
+Seven checks, all AST-based:
 
 1. **Pipeline boundary** — the three dispatch planes
    (``repro.web.container``, ``repro.orb.core``, ``repro.core.daemon``)
@@ -48,6 +48,13 @@ Three checks, all AST-based:
    ``repro.core`` must not ``open()`` files at all — durability is the
    storage backend's business, so direct file I/O from a core plane is a
    WAL bypass.
+
+7. **Time-series boundary** — metric bucketing lives in
+   :mod:`repro.obs.timeseries`.  Outside that one module, naming a
+   bucket/series internal (``LogHistogram`` / ``TimeSeries``) couples
+   emitters to the storage representation — they record through the
+   :class:`TimeSeriesRegistry` facade (``inc`` / ``set_gauge`` /
+   ``observe``) and read through ``query()``.
 
 Usage: python tools/check_pipeline_boundary.py [repo_root]
 """
@@ -112,6 +119,13 @@ STORAGE_PACKAGE = "src/repro/storage"
 
 #: the core package — no direct file I/O allowed there at all
 CORE_PACKAGE = "src/repro/core"
+
+#: bucket/series internals only the time-series module may name —
+#: emitters record via the TimeSeriesRegistry facade, readers query()
+TIMESERIES_ONLY_NAMES = frozenset({"LogHistogram", "TimeSeries"})
+
+#: the one module allowed to use those names, relative to the repo root
+TIMESERIES_MODULE = "src/repro/obs/timeseries.py"
 
 
 def forbidden_imports(path: Path) -> list:
@@ -275,6 +289,29 @@ def storage_leaks(path: Path) -> list:
     return hits
 
 
+def timeseries_leaks(path: Path) -> list:
+    """(lineno, what) pairs for time-series internals used in ``path``.
+
+    Naming ``LogHistogram`` / ``TimeSeries`` outside
+    ``repro/obs/timeseries.py`` couples a caller to the bucket/tier
+    representation; emitters use the :class:`TimeSeriesRegistry` facade
+    (exact names only, so ``TimeSeriesRegistry`` itself stays legal
+    everywhere).
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = node.id if isinstance(node, ast.Name) else node.attr
+            if name in TIMESERIES_ONLY_NAMES:
+                hits.append((node.lineno, f"uses {name!r}"))
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in TIMESERIES_ONLY_NAMES:
+                    hits.append((node.lineno, f"imports {alias.name}"))
+    return hits
+
+
 def core_file_io(path: Path) -> list:
     """(lineno, what) pairs for direct file I/O in a core module.
 
@@ -321,6 +358,7 @@ def main(argv) -> int:
     directory_checked = 0
     storage_checked = 0
     core_checked = 0
+    timeseries_checked = 0
     for path in sorted((root / "src" / "repro").rglob("*.py")):
         rel = path.relative_to(root)
         if not (fed_root in path.parents or path.parent == fed_root):
@@ -358,6 +396,13 @@ def main(argv) -> int:
                     f"{rel}:{lineno}: {what} — WAL/snapshot internals "
                     f"stay in repro.storage; journal through "
                     f"StateJournal and recover()")
+        if str(rel) != TIMESERIES_MODULE:
+            timeseries_checked += 1
+            for lineno, what in timeseries_leaks(path):
+                failures.append(
+                    f"{rel}:{lineno}: {what} — bucket/series internals "
+                    f"stay in repro.obs.timeseries; emitters use the "
+                    f"TimeSeriesRegistry facade")
         if core_root in path.parents or path.parent == core_root:
             core_checked += 1
             for lineno, what in core_file_io(path):
@@ -376,7 +421,8 @@ def main(argv) -> int:
           f"health boundary OK ({health_checked} modules clean); "
           f"directory boundary OK ({directory_checked} modules clean); "
           f"storage boundary OK ({storage_checked} modules clean, "
-          f"{core_checked} core modules I/O-free)")
+          f"{core_checked} core modules I/O-free); "
+          f"time-series boundary OK ({timeseries_checked} modules clean)")
     return 0
 
 
