@@ -107,3 +107,36 @@ def test_health_plane_overhead_under_5_percent(benchmark):
           f"off={without:.3f}s ratio={ratio:.3f}")
     assert ratio < 1.05, (
         f"health plane adds {100 * (ratio - 1):.1f}% wall-clock overhead")
+
+
+def test_accounting_overhead_under_5_percent(benchmark):
+    """The cost-attribution ledger must stay effectively free (ISSUE 10).
+
+    Same interleaved-minima protocol as the health-plane gate: identical
+    E1 workload with ``accounting_enabled`` on and off.  The attribution
+    path is an interceptor scope, a handful of integer bumps, and a
+    bounded sketch add per request — 5% is a generous ceiling.
+    """
+    from repro.bench.scenarios import run_app_scalability
+
+    def one(enabled: bool) -> float:
+        t0 = time.perf_counter()
+        run_app_scalability(20, duration=30.0, accounting_enabled=enabled)
+        return time.perf_counter() - t0
+
+    def measure():
+        one(True), one(False)
+        ons, offs = [], []
+        for i in range(12):
+            offs.append(one(False))
+            ons.append(one(True))
+            if i >= 2 and min(ons) / min(offs) < 1.04:
+                break
+        return min(ons), min(offs)
+
+    with_ledger, without = run_once(benchmark, measure)
+    ratio = with_ledger / without
+    print(f"\ncost ledger wall-clock: on={with_ledger:.3f}s "
+          f"off={without:.3f}s ratio={ratio:.3f}")
+    assert ratio < 1.05, (
+        f"cost ledger adds {100 * (ratio - 1):.1f}% wall-clock overhead")

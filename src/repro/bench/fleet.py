@@ -17,12 +17,19 @@ fleet-wide lookup latency percentiles — the two quantities the
 acceptance story cares about (flat shards, p99 independent of fleet
 size).  An optional ``kill_shard_at`` crashes one replica mid-run to
 drill read failover.
+
+:func:`run_noisy_neighbor_drill` is E14: one principal floods the shared
+directory plane of a 50-server fleet while the cost-attribution ledger
+(one shared :class:`~repro.obs.RequestCostLedger`) keeps exact
+per-principal books — the drill asserts the per-principal cost vectors
+partition the global totals bit-for-bit and that the space-saving
+sketches surface the flooder within one time-series bucket.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.bench.traffic import TrafficSpec, constant, exponential, session_plans
 from repro.core.server import DiscoverServer
@@ -30,7 +37,10 @@ from repro.directory import DirectoryPlane, make_app_id
 from repro.metrics.stats import Reservoir
 from repro.net import Network
 from repro.net.costs import CostModel, LinkSpec
+from repro.obs import RequestCostLedger
 from repro.orb import Orb, OrbError
+from repro.pipeline.core import PLANE_ORB
+from repro.pipeline.interceptors import default_pipeline
 from repro.sim import Simulator
 from repro.sim.rng import DeterministicRNG
 
@@ -43,6 +53,7 @@ class Fleet:
     net: Network
     servers: List[DiscoverServer]
     plane: DirectoryPlane
+    ledger: Optional[RequestCostLedger] = None
     by_name: Dict[str, DiscoverServer] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -60,6 +71,7 @@ def build_fleet(n_servers: int, *, directory_shards: int = 4,
                 cost_model: Optional[CostModel] = None,
                 peer_call_timeout: float = 3.0,
                 health_period: float = 5.0,
+                bucket_width: float = 0.25,
                 sim: Optional[Simulator] = None) -> Fleet:
     """N servers + M shard hosts in a star through a ``core`` backbone.
 
@@ -68,13 +80,24 @@ def build_fleet(n_servers: int, *, directory_shards: int = 4,
     fleet-size comparison about the *directory plane*, not topology
     luck.  Tracing is off and health ticks are slow: at 10⁵ sessions the
     observability machinery would otherwise dominate the wall clock.
+
+    One shared :class:`~repro.obs.RequestCostLedger` spans the fleet:
+    every server, every shard ORB pipeline, and the network's per-hop
+    byte accounting attribute into the same instance (zero-event
+    bookkeeping — E11's numbers are untouched).  ``bucket_width`` sets
+    the ledger's time-series resolution, which bounds E14's
+    heavy-hitter detection latency.
     """
     if n_servers < 2:
         raise ValueError("a fleet needs at least 2 servers")
+    from repro.core.deployment import reset_runtime_ids
+    reset_runtime_ids()
     sim = sim or Simulator()
     spec = spec or LinkSpec()
     costs = cost_model or CostModel()
     net = Network(sim)
+    ledger = RequestCostLedger(sim, bucket_width=bucket_width)
+    net.cost_ledger = ledger
     half_wan = spec.wan_latency / 2
     net.add_host("core")
     plane = DirectoryPlane(replicas=directory_replicas)
@@ -82,7 +105,14 @@ def build_fleet(n_servers: int, *, directory_shards: int = 4,
         host = net.add_host(f"dir{i}")
         net.add_link("core", host.name, half_wan, spec.wan_bandwidth,
                      kind="wan")
-        plane.add_shard(host.name, Orb(host, cost_model=costs))
+        # shard ORBs are bare (no DiscoverServer), so they get an
+        # accounting-only pipeline — directory reads are where a noisy
+        # principal's load lands, exactly what E14 must attribute
+        shard_pipeline = default_pipeline(
+            PLANE_ORB, clock=lambda: sim.now, server=host.name,
+            accounting=ledger)
+        plane.add_shard(host.name, Orb(host, cost_model=costs,
+                                       pipeline=shard_pipeline))
     servers: List[DiscoverServer] = []
     for i in range(n_servers):
         host = net.add_host(f"s{i}")
@@ -93,10 +123,12 @@ def build_fleet(n_servers: int, *, directory_shards: int = 4,
         server = DiscoverServer(
             host, cost_model=costs,
             peer_call_timeout=peer_call_timeout,
-            health_period=health_period)
+            health_period=health_period,
+            ledger=ledger)
         server.attach_directory(plane.client_for(server))
         servers.append(server)
-    return Fleet(sim=sim, net=net, servers=servers, plane=plane)
+    return Fleet(sim=sim, net=net, servers=servers, plane=plane,
+                 ledger=ledger)
 
 
 @dataclass
@@ -286,3 +318,194 @@ def run_fleet_directory(n_servers: int = 50, *, n_sessions: int = 20_000,
     row.update(pipeline_counters(fleet.servers))
     fleet.stop()
     return row
+
+
+#: dimensions the E14 flooder must dominate (its lookups land on the shard
+#: pipelines and the WAN star; its junk frames land on the drop path)
+FLOOD_DIMS = ("requests", "events", "cpu_us", "wan_bytes",
+              "dropped_frames", "dropped_bytes")
+
+#: an unbound backbone port the flooder sprays junk at (discard, RFC 863)
+_NOISE_PORT = 9
+
+
+def _flood_lookup(server: DiscoverServer, app_id: str,
+                  counters: Dict[str, int]):
+    try:
+        yield from server.directory.locate_app(app_id)
+        counters["flood_lookups"] += 1
+    except OrbError:
+        counters["flood_errors"] += 1
+
+
+def run_noisy_neighbor_drill(n_servers: int = 50, *,
+                             n_sessions: int = 2_000,
+                             directory_shards: int = 8,
+                             directory_replicas: int = 2,
+                             duration: float = 60.0,
+                             flood_start: float = 15.0,
+                             flood_rate: float = 200.0,
+                             n_apps: Optional[int] = None,
+                             n_users: Optional[int] = None,
+                             bucket_width: float = 0.25,
+                             seed: int = 0,
+                             profiler=None) -> Tuple[dict, Fleet]:
+    """E14: one principal floods the fleet; the ledger must name it.
+
+    Background load is the E11 session mix spread evenly over the fleet.
+    At ``flood_start`` the *last* server (chosen so sketch tie-breaking
+    can never hand it the top slot for free — ties rank lexicographically
+    and every other principal sorts first) starts hammering the shared
+    directory plane at ``flood_rate`` lookups/s and spraying junk frames
+    at an unbound backbone port, so the dropped-traffic dimensions have a
+    heavy hitter too.  A monitor process samples the ledger's top-1
+    sketch every ``bucket_width`` and records, per dimension, how long
+    the flooder took to surface.
+
+    The returned row carries the drill's three acceptance facts:
+
+    - ``partition_exact`` — the per-principal cost vectors sum to the
+      ledger's global totals **bit-for-bit** (integer arithmetic, every
+      cost attributed to exactly one entry).
+    - ``flooder_top_all_dims`` — the flooder is the top heavy hitter in
+      every :data:`FLOOD_DIMS` dimension by the end of the run.
+    - ``detection_latency_s`` — per-dimension time from flood start to
+      the sketch naming the flooder; the E14 acceptance bound is one
+      time-series bucket (monitor resolution = ``bucket_width``).
+
+    ``profiler`` (a :class:`~repro.obs.DispatchProfiler`) is installed on
+    the kernel for the whole drill when given — the CI artifact path.
+
+    Returns ``(row, fleet)`` — the live fleet so callers (the costs CLI,
+    the CI snapshot exporter) can read ``fleet.ledger`` before stopping
+    it, like the other drill scenarios.
+    """
+    n_apps = n_apps or max(8, 2 * n_servers)
+    n_users = n_users or max(50, n_sessions // 10)
+    fleet = build_fleet(n_servers, directory_shards=directory_shards,
+                        directory_replicas=directory_replicas,
+                        bucket_width=bucket_width)
+    sim, ledger = fleet.sim, fleet.ledger
+    if profiler is not None:
+        profiler.install(sim)
+    rng = DeterministicRNG(seed, "e14")
+    pub = sim.spawn(publish_population(fleet, n_apps=n_apps,
+                                       n_users=n_users, rng=rng),
+                    name="publish-population")
+    population = sim.run(until=pub)
+
+    spec = TrafficSpec(total_sessions=n_sessions, duration=duration,
+                       ops_per_session=constant(2),
+                       think_time=exponential(0.1),
+                       app_mix="uniform", seed=seed)
+    counters = {"done": 0, "failed": 0, "misses": 0, "lookup_errors": 0,
+                "flood_lookups": 0, "flood_errors": 0,
+                "flood_noise_frames": 0}
+    server_names = [s.name for s in fleet.servers]
+    flooder = fleet.servers[-1]
+    t0 = sim.now
+
+    def driver():
+        for gap, plan in session_plans(spec, population.users,
+                                       population.app_ids, server_names,
+                                       rng=rng.child("traffic")):
+            if gap > 0:
+                yield sim.timeout(gap)
+            sim.spawn(_session(fleet.by_name[plan.edge], plan,
+                               population.homes, counters),
+                      name="e14-session")
+
+    flood_t: Dict[str, float] = {}
+
+    def flood():
+        yield sim.timeout(flood_start)
+        flood_t["start"] = sim.now
+        noise = flooder.host.bind(45_999)
+        app_rng = rng.child("flood")
+        gap = 1.0 / flood_rate
+        k = 0
+        while sim.now < t0 + duration:
+            sim.spawn(_flood_lookup(flooder,
+                                    app_rng.choice(population.app_ids),
+                                    counters),
+                      name="e14-flood")
+            if k % 4 == 0:
+                noise.send("core", _NOISE_PORT, {"noise": k},
+                           channel="flood")
+                counters["flood_noise_frames"] += 1
+            k += 1
+            yield sim.timeout(gap)
+        noise.close()
+
+    detection: Dict[str, float] = {}
+
+    def monitor():
+        yield sim.timeout(flood_start)
+        while (sim.now < t0 + duration + 10.0
+               and len(detection) < len(FLOOD_DIMS)):
+            for dim in FLOOD_DIMS:
+                if dim in detection:
+                    continue
+                top = ledger.top(dim, 1)
+                if top and top[0][0] == flooder.name:
+                    detection[dim] = round(sim.now - flood_t["start"], 6)
+            yield sim.timeout(bucket_width)
+
+    sim.spawn(driver(), name="e14-driver")
+    sim.spawn(flood(), name="e14-flooder")
+    sim.spawn(monitor(), name="e14-monitor")
+
+    deadline = t0 + duration + 120.0
+    while (counters["done"] + counters["failed"] < n_sessions
+           and sim.now < deadline):
+        sim.run(until=min(sim.now + 10.0, deadline))
+    sim.run(until=min(sim.now + 5.0, deadline + 5.0))  # drain flood tail
+    if profiler is not None:
+        profiler.uninstall()
+
+    # -- the books --------------------------------------------------------
+    totals = ledger.total.as_dict()
+    partition = {principal: vec.as_dict() for principal, vec
+                 in ledger.partition_by("principal").items()}
+    summed = {dim: 0 for dim in totals}
+    for vec in partition.values():
+        for dim, value in vec.items():
+            summed[dim] += value
+    partition_exact = summed == totals
+
+    flooder_vec = partition.get(flooder.name, {})
+    flooder_top = {dim: (lambda top: bool(top)
+                         and top[0][0] == flooder.name)(ledger.top(dim, 1))
+                   for dim in FLOOD_DIMS}
+    row = {
+        "n_servers": n_servers,
+        "n_shards": directory_shards,
+        "sessions": n_sessions,
+        "sessions_done": counters["done"],
+        "sessions_failed": counters["failed"],
+        "lookup_errors": counters["lookup_errors"],
+        "flooder": flooder.name,
+        "flood_lookups": counters["flood_lookups"],
+        "flood_errors": counters["flood_errors"],
+        "flood_noise_frames": counters["flood_noise_frames"],
+        "partition_exact": partition_exact,
+        "principals": len(partition),
+        "flooder_top_all_dims": all(flooder_top.values()),
+        "flooder_top_dims": sum(flooder_top.values()),
+        # by-dim dict; NOT "detection_latency_s" (the health footer's
+        # scalar key from E10) so report footers format cleanly
+        "detection_latency_by_dim_s": {dim: detection.get(dim)
+                                       for dim in FLOOD_DIMS},
+        "detection_latency_max_s": (max(detection.values())
+                                    if len(detection) == len(FLOOD_DIMS)
+                                    else None),
+        "bucket_width_s": bucket_width,
+        "flooder_requests": flooder_vec.get("requests", 0),
+        "flooder_cpu_us": flooder_vec.get("cpu_us", 0),
+        "flooder_wan_bytes": flooder_vec.get("wan_bytes", 0),
+        "flooder_dropped_frames": flooder_vec.get("dropped_frames", 0),
+        "virtual_duration_s": round(sim.now - t0, 1),
+    }
+    from repro.bench.scenarios import pipeline_counters
+    row.update(pipeline_counters(fleet.servers))
+    return row, fleet

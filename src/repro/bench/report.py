@@ -64,6 +64,11 @@ STORAGE_KEYS = ("storage_appends", "storage_snapshots", "storage_compacted",
 #: added by ``pipeline_counters``
 OBS_KEYS = ("log_records", "log_dropped", "ts_series", "ts_points")
 
+#: cost-attribution totals, also added by ``pipeline_counters``
+COST_KEYS = ("cost_requests", "cost_events", "cost_cpu_us",
+             "cost_wan_bytes", "cost_dropped_frames", "cost_dropped_bytes",
+             "cost_entries")
+
 
 def format_pipeline_summary(rows: Sequence[Dict]) -> str:
     """Footer lines aggregating the per-plane pipeline counters and the
@@ -123,6 +128,19 @@ def format_pipeline_summary(rows: Sequence[Dict]) -> str:
                 f"log_dropped={ok['log_dropped']} "
                 f"ts_series={ok['ts_series']} "
                 f"ts_points={ok['ts_points']}")
+    if any(k in row for row in rows for k in COST_KEYS):
+        ck = {k: sum(row.get(k, 0) for row in rows) for k in COST_KEYS}
+        out += (f"\ncosts: requests={ck['cost_requests']} "
+                f"events={ck['cost_events']} "
+                f"cpu_us={ck['cost_cpu_us']} "
+                f"wan_bytes={ck['cost_wan_bytes']} "
+                f"dropped_frames={ck['cost_dropped_frames']} "
+                f"dropped_bytes={ck['cost_dropped_bytes']} "
+                f"entries={ck['cost_entries']}")
+        top = [row.get("cost_top_principal") for row in rows
+               if row.get("cost_top_principal") not in (None, "-")]
+        if top:
+            out += f" top_principal={top[0]}"
     return out
 
 

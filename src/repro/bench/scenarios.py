@@ -42,9 +42,15 @@ def pipeline_counters(servers, tracer=None) -> dict:
     Observability totals ride along too: the structured log's retained /
     ring-dropped record counts (``log_records``, ``log_dropped`` — so
     overflow is visible, not silent) and the time-series store's size
-    (``ts_series``, ``ts_points``).  Passing the deployment's tracer
-    adds the span-store totals (``spans_recorded``, ``traces_recorded``,
-    ``spans_dropped``)."""
+    (``ts_series``, ``ts_points``).  The cost-attribution plane's
+    fleet totals close the set (``cost_requests``, ``cost_events``,
+    ``cost_cpu_us``, ``cost_wan_bytes``, ``cost_dropped_frames``,
+    ``cost_dropped_bytes``, ``cost_entries`` — distinct rollup keys —
+    and ``cost_top_principal``, the heaviest requester); shared ledgers
+    are deduplicated by identity so a deployment-wide ledger counts
+    once, and dropped frames are no longer invisible to rollups.
+    Passing the deployment's tracer adds the span-store totals
+    (``spans_recorded``, ``traces_recorded``, ``spans_dropped``)."""
     http = orb = channel = errors = expired = 0
     subscribes = unsubscribes = invalidations = failovers = 0
     discovery_skipped = 0
@@ -59,6 +65,7 @@ def pipeline_counters(servers, tracer=None) -> dict:
                      "unknown": 0}
     alerts_fired = alerts_resolved = health_failovers = 0
     log_records = log_dropped = ts_series = ts_points = 0
+    ledgers: dict = {}  # id → ledger: shared deployment ledgers count once
     for server in servers:
         metrics = server.pipeline_metrics
         http += metrics.requests(PLANE_HTTP)
@@ -98,6 +105,22 @@ def pipeline_counters(servers, tracer=None) -> dict:
             ts_snap = timeseries.snapshot()
             ts_series += ts_snap["series"]
             ts_points += ts_snap["points"]
+        ledger = getattr(server, "ledger", None)
+        if ledger is not None:
+            ledgers[id(ledger)] = ledger
+    cost = {"requests": 0, "events": 0, "cpu_us": 0, "wan_bytes": 0,
+            "dropped_frames": 0, "dropped_bytes": 0}
+    cost_entries = 0
+    top_principal = "-"
+    top_requests = -1
+    for ledger in ledgers.values():
+        totals = ledger.total.as_dict()
+        for key in cost:
+            cost[key] += totals[key]
+        cost_entries += len(ledger.entries)
+        for principal, count, _err in ledger.top("requests", 1):
+            if count > top_requests:
+                top_principal, top_requests = principal, count
     row = {
         "http_requests": http,
         "orb_requests": orb,
@@ -133,6 +156,14 @@ def pipeline_counters(servers, tracer=None) -> dict:
         "log_dropped": log_dropped,
         "ts_series": ts_series,
         "ts_points": ts_points,
+        "cost_requests": cost["requests"],
+        "cost_events": cost["events"],
+        "cost_cpu_us": cost["cpu_us"],
+        "cost_wan_bytes": cost["wan_bytes"],
+        "cost_dropped_frames": cost["dropped_frames"],
+        "cost_dropped_bytes": cost["dropped_bytes"],
+        "cost_entries": cost_entries,
+        "cost_top_principal": top_principal,
     }
     if tracer is not None:
         row["spans_recorded"] = len(tracer.store)
@@ -144,24 +175,37 @@ def pipeline_counters(servers, tracer=None) -> dict:
 def run_app_scalability(n_apps: int, *, duration: float = 30.0,
                         update_period: float = 0.5,
                         cost_model: Optional[CostModel] = None,
-                        health_enabled: bool = True) -> dict:
+                        health_enabled: bool = True,
+                        accounting_enabled: bool = True,
+                        profiler=None) -> dict:
     """E1: one server, ``n_apps`` applications pushing updates.
 
     Returns the server-side update-processing lag; the knee past which the
     mean lag grows with offered load marks the capacity the paper reports
     as ">40 simultaneous applications".  ``health_enabled=False`` turns the
-    health plane off entirely — the overhead-bench control arm.
+    health plane off entirely, ``accounting_enabled=False`` the cost
+    ledger — the overhead benches' control arms.  ``profiler`` (a
+    :class:`repro.obs.DispatchProfiler`) is installed on the kernel for
+    the run; an untagged profiler inherits the deployment's tracer so
+    samples carry plane/operation span names.
     """
     collab = build_collaboratory(1,
                                  apps_hosts_per_domain=max(4, n_apps // 4),
                                  cost_model=cost_model,
-                                 health_enabled=health_enabled)
+                                 health_enabled=health_enabled,
+                                 accounting_enabled=accounting_enabled)
     collab.run_bootstrap()
     server = collab.server_of(0)
     recorder = LatencyRecorder(collab.sim)
     server.recorder = recorder
     make_app_farm(collab, n_apps, update_period=update_period)
+    if profiler is not None:
+        if profiler.tracer is None:
+            profiler.tracer = collab.tracer
+        profiler.install(collab.sim)
     collab.sim.run(until=collab.sim.now + duration)
+    if profiler is not None:
+        profiler.uninstall()
     stats = recorder.stats("update_lag")
     offered = n_apps / update_period
     return {
@@ -633,8 +677,12 @@ def run_telemetry_drill(*, duration: float = 30.0, kill_at: float = 10.0,
     """
     from repro.apps import SyntheticApp
     from repro.bench.workload import resilient_steering_client
+    from repro.core.deployment import reset_runtime_ids
     from repro.steering import AppConfig
 
+    # id-counter digits feed wire sizes, so the ledger's byte totals are
+    # only run-deterministic if every drill starts from the same seeds
+    reset_runtime_ids()
     spec = LinkSpec(wan_latency=wan_latency)
     collab = build_collaboratory(3, apps_hosts_per_domain=1,
                                  client_hosts_per_domain=1, spec=spec,

@@ -283,6 +283,31 @@ def bench_health_overhead(quick: bool = False) -> List[Dict]:
     return results
 
 
+def bench_accounting_overhead(quick: bool = False) -> List[Dict]:
+    """E1 with the cost ledger on vs off — the accounting plane's tax.
+
+    Same shape as :func:`bench_health_overhead`: identical workload, one
+    knob flipped, so the on/off ratio is the per-request cost of the
+    attribution path (interceptor scope + counter deltas + sketch adds).
+    The gate in ``benchmarks/test_bench_wallclock.py`` asserts it stays
+    under 5%.
+    """
+    from repro.bench.scenarios import run_app_scalability
+
+    duration = 3.0 if quick else 15.0
+    rounds = 1 if quick else 3
+    results = []
+    for enabled in (True, False):
+        best, _row = _best_of(
+            lambda: run_app_scalability(10, duration=duration,
+                                        accounting_enabled=enabled), rounds)
+        label = "on" if enabled else "off"
+        results.append(_entry(f"e2e/E1_accounting_{label}_n10", best,
+                              note=f"virtual duration {duration}s, "
+                                   f"cost ledger {label}"))
+    return results
+
+
 def bench_storage(quick: bool = False) -> List[Dict]:
     """Durable-state-plane costs: WAL append (both backends), snapshot +
     compaction, and the E12 crash-recovery drill end to end.
@@ -366,6 +391,7 @@ def run_suite(quick: bool = False) -> Dict:
     benchmarks: List[Dict] = []
     for group in (bench_wire, bench_network, bench_broadcast,
                   bench_end_to_end, bench_health_overhead,
+                  bench_accounting_overhead,
                   bench_directory, bench_storage):
         benchmarks.extend(group(quick=quick))
     return {

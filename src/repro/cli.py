@@ -14,6 +14,11 @@
     python -m repro tsdb                      # telemetry-drill quantile table
     python -m repro tsdb --series pipeline.latency.http   # one range dump
     python -m repro tsdb --chrome counters.json  # Perfetto counter tracks
+    python -m repro costs                     # per-principal cost attribution
+    python -m repro costs --export costs.json # snapshot for the cost gate
+    python -m repro profile                   # sampled kernel-dispatch profile
+    python -m repro profile --collapsed out.folded  # flamegraph.pl input
+    python -m repro profile --chrome prof.json      # ui.perfetto.dev
 
 The full experiment suite (every table, with shape assertions) lives in
 ``benchmarks/`` and runs under ``pytest benchmarks/ --benchmark-only -s``;
@@ -113,6 +118,25 @@ def _exp_e13(quick: bool) -> Tuple[List[dict], List[str]]:
                    "merged_series", "merged_points"]
 
 
+def _run_e14(quick: bool, profiler=None):
+    from repro.bench.fleet import run_noisy_neighbor_drill
+    if quick:
+        return run_noisy_neighbor_drill(10, n_sessions=300,
+                                        directory_shards=4, duration=20.0,
+                                        flood_start=5.0, flood_rate=100.0,
+                                        profiler=profiler)
+    return run_noisy_neighbor_drill(profiler=profiler)
+
+
+def _exp_e14(quick: bool) -> Tuple[List[dict], List[str]]:
+    row, fleet = _run_e14(quick)
+    fleet.stop()
+    return [row], ["n_servers", "flooder", "flood_lookups",
+                   "flood_noise_frames", "partition_exact", "principals",
+                   "flooder_top_all_dims", "detection_latency_max_s",
+                   "bucket_width_s"]
+
+
 EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
     "E1": ("applications per server (>40 supported)", _exp_e1),
     "E2": ("HTTP clients per server (~20, then degradation)", _exp_e2),
@@ -125,6 +149,8 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
             "snapshot + WAL", _exp_e12),
     "E13": ("telemetry plane: error-rate breach within one bucket of a "
             "kill, merged p99 recovers within 10%", _exp_e13),
+    "E14": ("cost attribution: exact per-principal partition, noisy "
+            "neighbor tops every dimension within one bucket", _exp_e14),
 }
 
 
@@ -346,6 +372,77 @@ def cmd_tsdb(args) -> int:
     return 0
 
 
+def cmd_costs(args) -> int:
+    """Per-principal cost attribution from the noisy-neighbor drill."""
+    import json
+
+    from repro.obs import format_cost_report
+
+    row, fleet = _run_e14(quick=not args.full)
+    ledger = fleet.ledger
+    print(f"noisy-neighbor drill: flooder={row['flooder']} "
+          f"partition_exact={row['partition_exact']} "
+          f"flooder_top_all_dims={row['flooder_top_all_dims']} "
+          f"detection_latency_max_s={row['detection_latency_max_s']} "
+          f"(bucket_width_s={row['bucket_width_s']})")
+    print()
+    print(format_cost_report(ledger, top=args.top))
+    if args.export:
+        snap = ledger.snapshot(top=args.top)
+        snap["drill"] = {k: row[k] for k in
+                         ("flooder", "partition_exact",
+                          "flooder_top_all_dims", "detection_latency_max_s",
+                          "bucket_width_s")}
+        with open(args.export, "w") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+        print(f"\ncost snapshot written to {args.export}")
+    fleet.stop()
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Continuous sampling profile of the kernel dispatch loop."""
+    import json
+
+    from repro.obs import DispatchProfiler
+
+    profiler = DispatchProfiler(interval_us=args.interval_us)
+    if args.scenario == "e14":
+        row, fleet = _run_e14(quick=not args.full, profiler=profiler)
+        fleet.stop()
+        print(f"profiled E14 drill: sessions_done={row['sessions_done']} "
+              f"flood_lookups={row['flood_lookups']} "
+              f"virtual_duration_s={row['virtual_duration_s']}")
+    else:  # e1
+        n_apps = 20 if not args.full else 60
+        duration = 10.0 if not args.full else 20.0
+        row = run_app_scalability(n_apps, duration=duration,
+                                  profiler=profiler)
+        print(f"profiled E1 run: n_apps={row['n_apps']} "
+              f"updates_processed={row['updates_processed']} "
+              f"mean_lag_ms={row['mean_lag_ms']:.2f}")
+
+    folds = profiler.top_folds(args.top)
+    rows = [{"stack": stack, "samples": samples,
+             "wall_us": wall_ns // 1000}
+            for stack, samples, wall_ns in folds]
+    print()
+    print(format_table(rows, ["samples", "wall_us", "stack"],
+                       title=f"top {args.top} folds "
+                             f"(interval={args.interval_us}us)"))
+    if args.collapsed:
+        with open(args.collapsed, "w") as fh:
+            fh.write(profiler.collapsed())
+        print(f"\ncollapsed stacks written to {args.collapsed} "
+              f"— feed to flamegraph.pl")
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(profiler.to_chrome(), fh)
+        print(f"\nChrome trace written to {args.chrome} "
+              f"— open in ui.perfetto.dev")
+    return 0
+
+
 def cmd_demo(_args) -> int:
     """A compressed version of examples/quickstart.py."""
     from repro import AppConfig, build_single_server
@@ -441,6 +538,34 @@ def build_parser() -> argparse.ArgumentParser:
     tsdb_p.add_argument("--chrome", default=None,
                         help="write Chrome trace-event counter tracks "
                              "(ui.perfetto.dev)")
+    costs_p = sub.add_parser(
+        "costs", help="per-principal cost attribution from the "
+                      "noisy-neighbor drill")
+    costs_p.add_argument("--full", action="store_true",
+                         help="full E14 scale (50 servers, 2000 sessions)")
+    costs_p.add_argument("--top", type=int, default=5,
+                         help="heavy hitters per dimension (default 5)")
+    costs_p.add_argument("--export", default=None,
+                         help="write the ledger snapshot as JSON")
+    profile_p = sub.add_parser(
+        "profile", help="sampled profile of the kernel dispatch loop")
+    profile_p.add_argument("--scenario", default="e1",
+                           choices=("e1", "e14"),
+                           help="scenario to profile (default e1, "
+                                "span-tagged)")
+    profile_p.add_argument("--full", action="store_true",
+                           help="full-scale scenario run")
+    profile_p.add_argument("--interval-us", type=int, default=200,
+                           help="virtual sampling interval in "
+                                "microseconds (default 200)")
+    profile_p.add_argument("--top", type=int, default=10,
+                           help="folds to print (default 10)")
+    profile_p.add_argument("--collapsed", default=None,
+                           help="write collapsed stacks "
+                                "(flamegraph.pl input)")
+    profile_p.add_argument("--chrome", default=None,
+                           help="write a Chrome trace-event JSON "
+                                "(ui.perfetto.dev)")
     return parser
 
 
@@ -455,6 +580,8 @@ def main(argv=None) -> int:
         "status": cmd_status,
         "alerts": cmd_alerts,
         "tsdb": cmd_tsdb,
+        "costs": cmd_costs,
+        "profile": cmd_profile,
         None: cmd_info,
     }
     return handlers[args.command](args)

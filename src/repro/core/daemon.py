@@ -111,13 +111,16 @@ class DaemonService:
                     self.server.health.note_channel_failure()
                     continue
                 # custom-TCP-channel service cost on the server CPU
-                yield from self.server.host.use_cpu(costs.tcp_cost(frame.size))
+                cpu_cost = costs.tcp_cost(frame.size)
+                yield from self.server.host.use_cpu(cpu_cost)
                 self.messages_handled += 1
                 ctx = RequestContext(PLANE_CHANNEL, request_id=msg.msg_id,
                                      principal=frame.src_host,
                                      operation=type(msg).__name__,
                                      size=frame.size, request=msg)
                 ctx.attrs["trace_parent"] = frame.trace_ctx
+                # modeled CPU charged above, reported for cost attribution
+                ctx.attrs["cpu_cost"] = cpu_cost
 
                 def dispatch(_ctx, frame=frame, msg=msg):
                     return self._dispatch(frame, msg)

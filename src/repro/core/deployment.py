@@ -23,6 +23,47 @@ from repro.sim import Simulator
 from repro.steering.application import AppConfig, SteerableApplication
 
 
+def reset_runtime_ids() -> None:
+    """Re-seed the module-global id counters used across the runtime.
+
+    Message ids, session ids, ports, and similar identifiers ride the
+    wire as strings, so a deployment's encoded byte totals depend on how
+    many digits these process-global counters have grown to.  Without a
+    reset, two identical drills run back-to-back in one process charge
+    slightly different ``wan_bytes`` into the cost ledger — breaking the
+    bit-for-bit determinism E13/E14 assert.  The determinism-checked
+    drills (``build_fleet``, ``run_telemetry_drill``) re-seed before
+    building; within a single deployment the counters still advance
+    normally, so uniqueness is untouched.  ``build_collaboratory`` itself
+    does *not* reset: the pre-pipeline golden seed
+    (tests/pipeline/golden_seed.json) was captured with scenarios run
+    back-to-back in one process, so its E4 byte totals bake in the
+    counter state E1/E2 left behind.
+    """
+    from repro.net import network as _network
+    from repro.orb import adapter as _adapter
+    from repro.orb import trader as _trader
+    from repro.sim import process as _process
+    from repro.steering import application as _application
+    from repro.web import client as _webclient
+    from repro.web import http as _http
+    from repro.web import session as _websession
+    from repro.wire import messages as _messages
+
+    from repro.core import services as _services
+
+    _network._frame_ids = itertools.count(1)
+    _adapter._auto_keys = itertools.count(1)
+    _trader._offer_seq = itertools.count(1)
+    _process._ids = itertools.count(1)
+    _application._app_ports = itertools.count(20000)
+    _webclient._client_ports = itertools.count(40000)
+    _http._request_ids = itertools.count(1)
+    _websession._session_seq = itertools.count(1)
+    _messages._msg_ids = itertools.count(1)
+    _services._job_seq = itertools.count(1)
+
+
 class Collaboratory:
     """A fully wired multi-domain DISCOVER deployment."""
 
@@ -49,6 +90,11 @@ class Collaboratory:
         #: registry references (set by build_collaboratory)
         self.naming_ref = None
         self.trader_ref = None
+        #: the deployment-wide RequestCostLedger shared by every server
+        #: and the network (set by build_collaboratory; falls back to the
+        #: first server's own ledger otherwise)
+        self.ledger = (next(iter(servers.values())).ledger
+                       if servers else None)
         #: server name → its durable storage backend (set by
         #: build_collaboratory) — the medium a crash does not erase,
         #: handed back to the replacement server in :meth:`restart_server`
@@ -118,6 +164,9 @@ class Collaboratory:
             registry.register("directory_plane", self.directory)
         registry.register("traffic", self.net.trace)
         registry.register("spans", self.tracer)
+        if self.ledger is not None:
+            # deployment-shared: registered once, not per server
+            registry.register("costs", self.ledger)
         return registry
 
     def merged_timeseries(self, extra=()):
@@ -190,6 +239,7 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
                         health_period: float = 0.5,
                         health_gossip_period: Optional[float] = None,
                         health_enabled: bool = True,
+                        accounting_enabled: bool = True,
                         log_sink=None,
                         storage_backend_factory=None,
                         storage_snapshot_every: Optional[int] = None,
@@ -216,6 +266,17 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
         spec=spec, server_cpus=server_cpus, names=names)
     tracer = Tracer(sim, sampling=trace_sampling, max_spans=trace_max_spans)
     net.tracer = tracer
+    # One cost ledger for the whole deployment: the rollup key carries no
+    # server dimension, so every server's interceptor and the shared
+    # network attribute into the same instance (zero-event bookkeeping).
+    # ``accounting_enabled=False`` removes it entirely — the overhead
+    # bench's control arm.
+    ledger = None
+    if accounting_enabled:
+        from repro.obs import RequestCostLedger
+        ledger = RequestCostLedger(sim,
+                                   bucket_width=timeseries_bucket_width)
+        net.cost_ledger = ledger
 
     # Registry host (naming + trader) on the first domain's LAN — the
     # "centralized directory service like the GIS" of §6.3.
@@ -272,7 +333,9 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
             health_enabled=health_enabled,
             log_sink=log_sink,
             storage_snapshot_every=snapshot_every,
-            timeseries_bucket_width=timeseries_bucket_width)
+            timeseries_bucket_width=timeseries_bucket_width,
+            ledger=ledger,
+            accounting_enabled=accounting_enabled)
         server = DiscoverServer(domain.server, storage=backend, **kwargs)
         if directory is not None:
             server.attach_directory(directory.client_for(server))
@@ -282,6 +345,7 @@ def build_collaboratory(n_domains: int, *, apps_hosts_per_domain: int = 4,
 
     collab = Collaboratory(sim, net, domains, servers, registry_orb, naming,
                            trader, tracer=tracer)
+    collab.ledger = ledger
     collab.directory = directory
     collab.naming_ref = naming_ref
     collab.trader_ref = trader_ref

@@ -217,6 +217,10 @@ class StatusServlet(DiscoverServlet):
     - ``GET /status/timeseries`` — the sim-time telemetry store: series
       summaries, or one series' buckets with
       ``?series=...[&start=..][&end=..][&q=..]``
+    - ``GET /status/costs`` — the cost-attribution ledger: global totals,
+      per-(principal, app, plane, operation) entries, and per-dimension
+      heavy hitters (``?top=N`` bounds the sketch listing;
+      ``format=prom`` renders the totals as exposition text)
 
     Served through the standard interceptor pipeline like every other
     servlet, so status requests are themselves metered, traced, and
@@ -226,13 +230,15 @@ class StatusServlet(DiscoverServlet):
     def do_get(self, request, session):
         p = request.params
         health = self.server.health
+        action = request.path.rsplit("/", 1)[-1]
+        if action == "costs":
+            return self._costs(p)
         if p.get("format") == "prom":
             from repro.health import to_prometheus
             return to_prometheus(self.server.metrics_registry(),
                                  monitor=health,
                                  timeseries=self.server.timeseries,
                                  instance=self.server.name)
-        action = request.path.rsplit("/", 1)[-1]
         if action == "timeseries":
             return self._timeseries(p)
         if action == "app":
@@ -278,6 +284,24 @@ class StatusServlet(DiscoverServlet):
                 "kind": ts.kind(name),
                 "points": ts.query(name, "points", start=start, end=end,
                                    q=q)}
+
+    def _costs(self, p):
+        """The cost-attribution ledger over HTTP — the operator's
+        "who is spending what" view."""
+        ledger = self.server.ledger
+        if ledger is None:
+            return {"server": self.server.name, "accounting": "disabled"}
+        if p.get("format") == "prom":
+            from repro.health import to_prometheus
+            from repro.obs import MetricsRegistry
+            registry = MetricsRegistry()
+            registry.register(f"costs[{self.server.name}]", ledger)
+            return to_prometheus(registry, instance=self.server.name)
+        top = int(p["top"]) if "top" in p else None
+        snap = ledger.snapshot(top=top)
+        snap["server"] = self.server.name
+        snap["time"] = self.server.sim.now
+        return snap
 
     def _app_detail(self, app_id):
         health = self.server.health

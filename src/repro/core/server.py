@@ -89,7 +89,9 @@ class DiscoverServer:
                  log_sink=None,
                  storage: Optional[StorageBackend] = None,
                  storage_snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
-                 timeseries_bucket_width: float = 0.25) -> None:
+                 timeseries_bucket_width: float = 0.25,
+                 ledger=None,
+                 accounting_enabled: bool = True) -> None:
         self.host = host
         self.sim = host.sim
         self.name = host.name
@@ -130,12 +132,26 @@ class DiscoverServer:
             bucket_width=timeseries_bucket_width)
         self.directory_metrics.timeseries = self.timeseries
 
+        # -- cost-attribution plane (§ DESIGN 4i) ---------------------------
+        #: per-request resource accounting by (principal, app, plane,
+        #: operation).  Deployments pass ONE shared ledger (the rollup key
+        #: carries no server dimension, so fleet-wide attribution needs no
+        #: merge); a standalone server creates its own.  Zero-event.
+        from repro.obs import RequestCostLedger
+        if not accounting_enabled:
+            ledger = None  # overhead-bench control arm: no ledger at all
+        elif ledger is None:
+            ledger = RequestCostLedger(
+                self.sim, bucket_width=timeseries_bucket_width)
+        self.ledger = ledger
+
         # -- durable state plane (§ DESIGN 4g) ------------------------------
         #: WAL + snapshot journal every stateful plane writes through; the
         #: backend outlives this server object, so a replacement server
         #: handed the same backend rebuilds the planes via :meth:`recover`
         self.storage_metrics = StorageMetrics()
         self.storage_metrics.timeseries = self.timeseries
+        self.storage_metrics.ledger = self.ledger
         self.journal = StateJournal(
             storage if storage is not None else MemoryBackend(),
             clock=lambda: self.sim.now,
@@ -165,6 +181,8 @@ class DiscoverServer:
             from repro.obs import SAMPLE_OFF, Tracer
             tracer = Tracer(sampling=SAMPLE_OFF, clock=lambda: self.sim.now)
         self.tracer = tracer
+        # spans minted during a request join its cost vector (zero-event)
+        tracer.ledger = self.ledger
         #: structured JSONL event log (sim-time + trace-context stamped);
         #: replaces the old silent drops in the daemon/federation paths
         from repro.obs import StructuredLog
@@ -748,15 +766,16 @@ class DiscoverServer:
             pass
 
     def _build_pipeline(self, plane: str) -> Pipeline:
-        """Assemble one plane's default interceptor chain:
-        metrics → error envelope → tracing → security → admission → handler."""
+        """Assemble one plane's default interceptor chain: metrics → error
+        envelope → tracing → accounting → security → admission → handler."""
         # Late import: repro.pipeline.interceptors imports this package.
         from repro.pipeline.interceptors import default_pipeline
         return default_pipeline(plane, clock=lambda: self.sim.now,
                                 metrics=self.pipeline_metrics,
                                 security=self.security,
                                 policies=self.policies,
-                                tracer=self.tracer, server=self.name)
+                                tracer=self.tracer, server=self.name,
+                                accounting=self.ledger)
 
     def _charge_async(self, cost: float) -> None:
         """Account CPU work without blocking the calling dispatch path."""
@@ -787,6 +806,8 @@ class DiscoverServer:
         registry.register(f"health[{self.name}]", self.health)
         registry.register(f"log[{self.name}]", self.log)
         registry.register(f"timeseries[{self.name}]", self.timeseries)
+        if self.ledger is not None:
+            registry.register(f"costs[{self.name}]", self.ledger)
         return registry
 
     def stop(self) -> None:

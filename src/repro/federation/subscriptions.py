@@ -28,6 +28,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.federation.handles import RemoteAppHandle
 
 
+def _cost_scope(server: "DiscoverServer"):
+    """The poll round's cost scope — a no-op when accounting is off."""
+    if server.ledger is None:
+        from contextlib import nullcontext
+        return nullcontext()
+    return server.ledger.scoped(server.name, plane="federation",
+                                operation="poll_round")
+
+
 class SubscriptionManager:
     """Push-subscribe / poll-fallback lifecycle for remote updates."""
 
@@ -121,8 +130,11 @@ class SubscriptionManager:
             else:
                 skipped = 0
             # Each round roots its own trace — pollers are background
-            # processes, so there is no caller context to join.
-            with server.tracer.span("federation.poll_round",
+            # processes, so there is no caller context to join.  The cost
+            # scope attributes the round's spans and WAL writes to the
+            # polling server itself (system load, not a user principal).
+            with _cost_scope(server), \
+                 server.tracer.span("federation.poll_round",
                                     plane="federation", server=server.name,
                                     attrs={"app_id": app_id,
                                            "since_seq": last_seq}):

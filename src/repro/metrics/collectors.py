@@ -266,11 +266,17 @@ class StorageMetrics:
         self.last_recovery_ms = 0.0
         #: optional TimeSeriesRegistry sink, attached by the server
         self.timeseries = None
+        #: optional RequestCostLedger — WAL appends made while a request
+        #: is being handled join that request's cost vector
+        self.ledger = None
 
     def count(self, name: str, n: int = 1) -> None:
         self._counters[name] += n
         if self.timeseries is not None:
             self.timeseries.inc(f"storage.{name}", n)
+        if self.ledger is not None and name == "wal_appends":
+            self.ledger.charge("wal_appends", n,
+                               plane="storage", operation="append")
 
     def get(self, name: str) -> int:
         return self._counters.get(name, 0)

@@ -119,7 +119,14 @@ class Reservoir:
         return list(self._samples)
 
     def stats(self) -> SummaryStats:
-        """Exact count/mean/min/max merged with sampled percentiles."""
+        """Exact count/mean/min/max merged with sampled percentiles.
+
+        Edge cases are pinned (tests/obs/test_accounting.py): **empty**
+        → the all-zero :class:`SummaryStats` (count 0, minimum/maximum
+        0.0 — never the internal ±inf sentinels); a **single**
+        observation → every field is that value (std 0.0), exact and
+        identical across all percentiles.
+        """
         if self.count == 0:
             return summarize(())
         sampled = summarize(self._samples)

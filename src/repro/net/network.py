@@ -111,6 +111,8 @@ class _Delivery:
     def _arrive(self) -> None:
         net, frame, link = self.net, self.frame, self.link
         net.trace.record(link, frame)
+        if net.cost_ledger is not None:
+            net.cost_ledger.account_frame_hop(frame, link.kind == "wan")
         if link.kind == "wan":
             self.wan = True
         self.idx += 1
@@ -139,6 +141,10 @@ class Network:
         #: optional repro.obs.Tracer — stamps outgoing frames with the
         #: sender's current trace context and records per-hop spans
         self.tracer = None
+        #: optional repro.obs.RequestCostLedger — per-hop wire bytes
+        #: (LAN/WAN) and dropped frames attributed back to the request
+        #: that sent them (via Frame.trace_ctx) or to the source host
+        self.cost_ledger = None
         #: per-frame framing overhead in bytes (headers: TCP/IP + protocol)
         self.frame_overhead = frame_overhead
         #: round-trip every payload through encode/decode at hand-off.
@@ -261,6 +267,8 @@ class Network:
             self.dropped.append(frame)
             self.dropped_count += 1
             self.trace.record_dropped(frame)
+            if self.cost_ledger is not None:
+                self.cost_ledger.account_dropped(frame)
             return
         if self.strict_wire:
             # Parity mode: materialize the bytes the reference codec would

@@ -11,6 +11,9 @@ boundary lint (``tools/check_pipeline_boundary.py``) rejects imports of
 the submodules and direct span construction elsewhere.
 """
 
+from repro.obs.accounting import (COST_DIMENSIONS, AccountingInterceptor,
+                                  DispatchProfiler, RequestCostLedger,
+                                  format_cost_report)
 from repro.obs.export import (export_chrome, export_jsonl, load_jsonl,
                               to_chrome_trace, to_jsonl_lines,
                               tree_signature)
@@ -26,8 +29,12 @@ from repro.obs.timeseries import TimeSeriesRegistry, to_chrome_counters
 from repro.obs.tracer import SAMPLE_ALWAYS, SAMPLE_OFF, Tracer
 
 __all__ = [
+    "AccountingInterceptor",
+    "COST_DIMENSIONS",
+    "DispatchProfiler",
     "MetricsRegistry",
     "PathSegment",
+    "RequestCostLedger",
     "SAMPLE_ALWAYS",
     "SAMPLE_OFF",
     "Span",
@@ -42,6 +49,7 @@ __all__ = [
     "TracingInterceptor",
     "export_chrome",
     "export_jsonl",
+    "format_cost_report",
     "format_critical_path",
     "format_trace_summary",
     "format_trace_tree",

@@ -1,0 +1,609 @@
+"""Cost-attribution plane: who is spending the fleet's resources, on what.
+
+The middleware promises "global access" for large user populations; this
+module answers the operator's first capacity question — *which principal*
+is consuming CPU, wire bytes, and WAL bandwidth, and *which operation* is
+burning it.  Three cooperating pieces:
+
+- :class:`RequestCostLedger` — the write-side.  An
+  :class:`AccountingInterceptor` joins the standard chain on all three
+  planes and attributes a per-request **cost vector** (requests, sim
+  events dispatched, modeled CPU µs, wire bytes split LAN/WAN, WAL
+  appends, spans minted, real wall-µs, dropped frames/bytes) to the
+  rollup key ``(principal, app, plane, operation)``.  Costs observed away
+  from the dispatch path — per-hop wire bytes, WAL appends, span minting
+  — join the same vector either through the request's propagated trace
+  context (``Frame.trace_ctx``) or through the per-process attribution
+  scope the interceptor activates, the same scoping discipline the tracer
+  uses.  Aggregates roll into a private
+  :class:`~repro.obs.TimeSeriesRegistry` (``cost.<dim>.<plane>``) so cost
+  history merges into fleet-wide telemetry views.
+- :class:`SpaceSaving` — a top-K heavy-hitter sketch (Metwally et al.)
+  per cost dimension, keyed by principal, so "who is the noisy neighbor"
+  is answerable in O(K) memory at 10^5-session scale without keeping a
+  counter per principal.
+- :class:`DispatchProfiler` — a continuous sampling profiler for the real
+  time axis.  It rides the kernel dispatch loop: on a wall-clock
+  interval it times exactly one callback dispatch and folds the sample
+  under the active span's ``(plane, operation)`` (falling back to the
+  callback's own name), exporting collapsed-stack (flamegraph) and
+  Chrome trace-event formats.
+
+Everything here is **zero-event**: attribution is plain bookkeeping off
+the clock — no simulator events, no virtual CPU, no wire bytes — so the
+golden experiment tables are bit-for-bit identical with accounting on or
+off.  All vector fields are integers (virtual costs are exact by
+construction; wall time is truncated to µs), which is what makes the
+partition invariant testable bit-for-bit: the per-principal vectors sum
+*exactly* to the ledger's running totals, in any merge order.
+
+Boundary: the rest of the tree names only :class:`RequestCostLedger`,
+:class:`AccountingInterceptor`, :class:`DispatchProfiler`, and
+:data:`COST_DIMENSIONS` (through the :mod:`repro.obs` facade); the sketch
+and vector internals stay in this module (boundary lint #8).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.interceptor import TRACE_CTX_KEY
+from repro.obs.timeseries import TimeSeriesRegistry
+from repro.pipeline.core import Interceptor, RequestContext
+
+#: the core per-request cost dimensions (every E14 heavy-hitter assertion
+#: quantifies over these)
+COST_DIMENSIONS = ("requests", "events", "cpu_us", "lan_bytes", "wan_bytes",
+                   "wal_appends", "spans", "wall_us")
+#: bookkeeping dimensions carried in the same vector but asserted
+#: separately (errors only on failures; drops only for shed load)
+EXTRA_DIMENSIONS = ("errors", "dropped_frames", "dropped_bytes")
+ALL_DIMENSIONS = COST_DIMENSIONS + EXTRA_DIMENSIONS
+
+#: ctx.attrs key dispatch sites use to report the modeled CPU seconds they
+#: charged for the request before entering the pipeline
+CPU_COST_KEY = "cpu_cost"
+_OPEN_KEY = "_cost_open"
+
+#: default capacity of the trace-id -> rollup-key LRU binding table
+MAX_TRACE_BINDINGS = 4096
+
+
+class CostVector:
+    """One exact, integer-valued resource vector (internal to this module).
+
+    Addition is component-wise and exact, so any partition of the
+    attribution stream sums back to the same totals bit-for-bit.
+    """
+
+    __slots__ = ALL_DIMENSIONS
+
+    def __init__(self) -> None:
+        for dim in ALL_DIMENSIONS:
+            setattr(self, dim, 0)
+
+    def bump(self, dim: str, n: int) -> None:
+        setattr(self, dim, getattr(self, dim) + n)
+
+    def add(self, other: "CostVector") -> "CostVector":
+        for dim in ALL_DIMENSIONS:
+            setattr(self, dim, getattr(self, dim) + getattr(other, dim))
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        return {dim: getattr(self, dim) for dim in ALL_DIMENSIONS}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, int]) -> "CostVector":
+        vec = cls()
+        for dim in ALL_DIMENSIONS:
+            setattr(vec, dim, int(doc.get(dim, 0)))
+        return vec
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CostVector):
+            return NotImplemented
+        return all(getattr(self, d) == getattr(other, d)
+                   for d in ALL_DIMENSIONS)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nonzero = {d: v for d, v in self.as_dict().items() if v}
+        return f"<CostVector {nonzero}>"
+
+
+class SpaceSaving:
+    """Space-saving top-K counter sketch (Metwally et al., 2005).
+
+    Tracks at most ``capacity`` items.  A new item arriving at capacity
+    evicts the current minimum and inherits its count as the new item's
+    over-estimation ``error`` — so for any tracked item,
+    ``count - error <= true count <= count``, and any item whose true
+    count exceeds the minimum tracked count is guaranteed to be present.
+    Deterministic: ties evict the first-inserted minimum.
+    """
+
+    __slots__ = ("capacity", "counters", "errors")
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.counters: Dict[Any, int] = {}
+        self.errors: Dict[Any, int] = {}
+
+    def add(self, item: Any, inc: int = 1) -> None:
+        counters = self.counters
+        if item in counters:
+            counters[item] += inc
+        elif len(counters) < self.capacity:
+            counters[item] = inc
+            self.errors[item] = 0
+        else:
+            victim = min(counters, key=counters.__getitem__)
+            floor = counters.pop(victim)
+            del self.errors[victim]
+            counters[item] = floor + inc
+            self.errors[item] = floor
+
+    def top(self, n: Optional[int] = None) -> List[Tuple[Any, int, int]]:
+        """``[(item, count, error)]`` sorted by count desc (ties by item)."""
+        ranked = sorted(self.counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        if n is not None:
+            ranked = ranked[:n]
+        return [(item, count, self.errors[item]) for item, count in ranked]
+
+    def guaranteed_top(self) -> Optional[Any]:
+        """The top item iff its lower bound beats every other upper bound."""
+        ranked = self.top()
+        if not ranked:
+            return None
+        item, count, error = ranked[0]
+        if len(ranked) > 1 and count - error < ranked[1][1]:
+            return None
+        return item
+
+    def merge_from(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Combine sketches (upper bounds add; trimmed back to capacity)."""
+        for item, count in other.counters.items():
+            if item in self.counters:
+                self.counters[item] += count
+                self.errors[item] += other.errors[item]
+            else:
+                self.counters[item] = count
+                self.errors[item] = other.errors[item]
+        if len(self.counters) > self.capacity:
+            kept = self.top(self.capacity)
+            floor = max(c for _i, c, _e in self.top()[self.capacity:])
+            self.counters = {i: c for i, c, _e in kept}
+            self.errors = {i: min(e + floor, c)
+                           for i, c, e in kept}
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"capacity": self.capacity,
+                "top": [[item, count, error]
+                        for item, count, error in self.top()]}
+
+
+class RequestCostLedger:
+    """Per-request resource accounting rolled up by (principal, app,
+    plane, operation).
+
+    One ledger serves a whole deployment (every server's interceptor and
+    the shared network feed the same instance), exactly like the shared
+    :class:`~repro.net.Network` — the rollup key carries no server
+    dimension, so a fleet-wide "who is spending what" view needs no merge
+    step.  Standalone servers create their own.
+
+    Attribution paths, in order of preference:
+
+    1. **Interceptor scope** — ``open_request``/``close_request`` bracket
+       each dispatched request and activate the rollup key for the
+       handling process, so charges made *during* handling (WAL appends,
+       span minting) attribute to the request that caused them.
+    2. **Trace binding** — ``open_request`` binds the request's trace id
+       to its key (LRU-bounded); frames stamped with that context
+       (``Frame.trace_ctx``) attribute their per-hop wire bytes to the
+       originating request even after it finished (reply frames).
+    3. **Fallback** — unbound frames attribute to
+       ``(src_host, "-", "net", channel)`` and scopeless charges to
+       ``("-", "-", plane, operation)``; every cost lands in exactly one
+       entry, so totals stay exact partitions regardless.
+    """
+
+    def __init__(self, sim=None, *,
+                 clock: Optional[Callable[[], float]] = None,
+                 scope: Optional[Callable[[], Any]] = None,
+                 events_fn: Optional[Callable[[], int]] = None,
+                 bucket_width: float = 0.25, top_k: int = 8,
+                 max_trace_bindings: int = MAX_TRACE_BINDINGS,
+                 wall_clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        if sim is not None:
+            clock = clock or (lambda: sim.now)
+            scope = scope or (lambda: sim.active_process)
+            events_fn = events_fn or (lambda: sim.events_dispatched)
+        self._clock = clock or (lambda: 0.0)
+        self._scope = scope or (lambda: None)
+        self._events = events_fn or (lambda: 0)
+        self._wall = wall_clock
+        self.top_k = top_k
+        #: cost history in sim-time buckets: ``cost.<dim>.<plane>`` counters
+        self.timeseries = TimeSeriesRegistry(clock=self._clock,
+                                             bucket_width=bucket_width)
+        self.entries: Dict[Tuple[str, str, str, str], CostVector] = {}
+        self.total = CostVector()
+        self.sketches: Dict[str, SpaceSaving] = {
+            dim: SpaceSaving(top_k) for dim in ALL_DIMENSIONS}
+        self._bindings: "OrderedDict[Any, Tuple[str, str, str, str]]" = \
+            OrderedDict()
+        self.max_trace_bindings = max_trace_bindings
+        #: per-process stacks of active rollup keys (attribution scope)
+        self._active: Dict[Any, List[Tuple[str, str, str, str]]] = {}
+
+    # -- the one write path -------------------------------------------------
+    def _charge_key(self, key: Tuple[str, str, str, str], dim: str,
+                    n: int) -> None:
+        if not n:
+            return
+        entry = self.entries.get(key)
+        if entry is None:
+            entry = self.entries[key] = CostVector()
+        entry.bump(dim, n)
+        self.total.bump(dim, n)
+        self.sketches[dim].add(key[0], n)
+        self.timeseries.inc(f"cost.{dim}.{key[2]}", n)
+
+    def _active_key(self) -> Optional[Tuple[str, str, str, str]]:
+        stack = self._active.get(self._scope())
+        return stack[-1] if stack else None
+
+    def charge(self, dim: str, n: int = 1, *, plane: str = "obs",
+               operation: str = "charge") -> None:
+        """Attribute ``n`` units of ``dim`` to the active request scope
+        (or the fallback key when no request is being handled)."""
+        key = self._active_key()
+        if key is None:
+            key = ("-", "-", plane, operation)
+        self._charge_key(key, dim, n)
+
+    # -- request lifecycle (interceptor) ------------------------------------
+    @staticmethod
+    def _app_of(ctx: RequestContext) -> str:
+        request = ctx.request
+        app = getattr(request, "app_id", None)
+        if app is None:
+            params = getattr(request, "params", None)
+            if isinstance(params, dict):
+                app = params.get("app_id")
+        return app if isinstance(app, str) and app else "-"
+
+    def open_request(self, ctx: RequestContext) -> None:
+        key = (ctx.principal or "-", self._app_of(ctx), ctx.plane,
+               ctx.operation or "-")
+        ctx.attrs[_OPEN_KEY] = (key, self._events(), self._wall())
+        self._active.setdefault(self._scope(), []).append(key)
+        span_ctx = ctx.attrs.get(TRACE_CTX_KEY)
+        if span_ctx is not None:
+            self.bind_trace(span_ctx.trace_id, key)
+
+    def close_request(self, ctx: RequestContext, *,
+                      error: bool = False) -> None:
+        rec = ctx.attrs.pop(_OPEN_KEY, None)
+        if rec is None:
+            return
+        key, events0, wall0 = rec
+        scope_key = self._scope()
+        stack = self._active.get(scope_key)
+        if stack:
+            if stack[-1] == key:
+                stack.pop()
+            else:  # defensive: out-of-order unwind
+                try:
+                    stack.remove(key)
+                except ValueError:
+                    pass
+            if not stack:
+                del self._active[scope_key]
+        self._charge_key(key, "requests", 1)
+        if error:
+            self._charge_key(key, "errors", 1)
+        # +1: the kernel counts the event that *delivered* this request
+        # before its callbacks (and hence this window) run — attribute it
+        # here, so a synchronous handler still costs the one dispatch it
+        # consumed and the events dimension partitions exactly.
+        self._charge_key(key, "events", self._events() - events0 + 1)
+        cpu = ctx.attrs.get(CPU_COST_KEY)
+        if cpu:
+            self._charge_key(key, "cpu_us", int(round(cpu * 1e6)))
+        self._charge_key(key, "wall_us", (self._wall() - wall0) // 1000)
+
+    @contextmanager
+    def scoped(self, principal: str, *, plane: str, operation: str):
+        """Attribute charges in this block to a background activity (a
+        federation poller, a health gossip round) instead of a request."""
+        key = (principal, "-", plane, operation)
+        scope_key = self._scope()
+        self._active.setdefault(scope_key, []).append(key)
+        try:
+            yield key
+        finally:
+            stack = self._active.get(scope_key)
+            if stack and stack[-1] == key:
+                stack.pop()
+                if not stack:
+                    del self._active[scope_key]
+
+    # -- trace-context joins (network plane) --------------------------------
+    def bind_trace(self, trace_id: Any,
+                   key: Tuple[str, str, str, str]) -> None:
+        bindings = self._bindings
+        bindings[trace_id] = key
+        bindings.move_to_end(trace_id)
+        while len(bindings) > self.max_trace_bindings:
+            bindings.popitem(last=False)
+
+    def _frame_key(self, frame: Any) -> Tuple[str, str, str, str]:
+        trace_ctx = frame.trace_ctx
+        if trace_ctx is not None:
+            key = self._bindings.get(trace_ctx.trace_id)
+            if key is not None:
+                return key
+        return (frame.src_host, "-", "net", frame.channel)
+
+    def account_frame_hop(self, frame: Any, wan: bool) -> None:
+        """One traversed link: ``frame.size`` wire bytes, LAN or WAN."""
+        self._charge_key(self._frame_key(frame),
+                         "wan_bytes" if wan else "lan_bytes", frame.size)
+
+    def account_dropped(self, frame: Any) -> None:
+        """A frame shed at hand-off (unbound port): count it and its bytes
+        so dropped load shows up in cost totals, not just diagnostics."""
+        key = self._frame_key(frame)
+        self._charge_key(key, "dropped_frames", 1)
+        self._charge_key(key, "dropped_bytes", frame.size)
+
+    # -- reduction ----------------------------------------------------------
+    def partition_by(self, field: str = "principal") -> Dict[str, CostVector]:
+        """Exact rollup of every entry onto one key field."""
+        idx = ("principal", "app", "plane", "operation").index(field)
+        out: Dict[str, CostVector] = {}
+        for key, vec in self.entries.items():
+            slot = out.get(key[idx])
+            if slot is None:
+                slot = out[key[idx]] = CostVector()
+            slot.add(vec)
+        return out
+
+    def by_operation(self) -> Dict[str, Dict[str, int]]:
+        """Per ``plane/operation`` vectors (the cost-regression gate's
+        unit of comparison), as plain dicts."""
+        out: Dict[str, CostVector] = {}
+        for (_principal, _app, plane, operation), vec in self.entries.items():
+            name = f"{plane}/{operation}"
+            slot = out.get(name)
+            if slot is None:
+                slot = out[name] = CostVector()
+            slot.add(vec)
+        return {name: vec.as_dict() for name, vec in sorted(out.items())}
+
+    def top(self, dim: str, n: Optional[int] = None) \
+            -> List[Tuple[str, int, int]]:
+        """Top principals for one dimension: ``[(principal, count, err)]``."""
+        return self.sketches[dim].top(n if n is not None else self.top_k)
+
+    def merge_from(self, other: "RequestCostLedger") -> "RequestCostLedger":
+        """Fold another ledger in exactly (entries and totals are integer
+        sums, so the result is merge-order-independent bit-for-bit)."""
+        for key, vec in other.entries.items():
+            slot = self.entries.get(key)
+            if slot is None:
+                slot = self.entries[key] = CostVector()
+            slot.add(vec)
+        self.total.add(other.total)
+        for dim, sketch in other.sketches.items():
+            self.sketches[dim].merge_from(sketch)
+        self.timeseries.merge_from(other.timeseries)
+        return self
+
+    @classmethod
+    def merged(cls, ledgers: Iterable["RequestCostLedger"], *,
+               clock: Optional[Callable[[], float]] = None,
+               top_k: int = 8) -> "RequestCostLedger":
+        out = cls(clock=clock, top_k=top_k)
+        for ledger in ledgers:
+            out.merge_from(ledger)
+        return out
+
+    def snapshot(self, *, top: Optional[int] = None) -> dict:
+        """Plain-dict view: totals, per-key entries, and per-dimension
+        heavy hitters (this is what ``/status/costs`` serves)."""
+        return {
+            "dimensions": list(ALL_DIMENSIONS),
+            "totals": self.total.as_dict(),
+            "entries": [
+                {"principal": key[0], "app": key[1], "plane": key[2],
+                 "operation": key[3], **vec.as_dict()}
+                for key, vec in sorted(self.entries.items())],
+            "heavy_hitters": {
+                dim: [[principal, count, error]
+                      for principal, count, error in self.top(dim, top)]
+                for dim in ALL_DIMENSIONS},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<RequestCostLedger entries={len(self.entries)} "
+                f"requests={self.total.requests}>")
+
+
+class AccountingInterceptor(Interceptor):
+    """The cost ledger's seam into the standard chain on every plane.
+
+    Sits after tracing (so the request's freshly-minted trace context is
+    available to bind) and *before* security/admission — a rejected or
+    shed request is still accounted, because you cannot meter principals
+    you refuse to see.
+    """
+
+    name = "accounting"
+
+    def __init__(self, ledger: RequestCostLedger) -> None:
+        self.ledger = ledger
+
+    def before(self, ctx: RequestContext) -> None:
+        self.ledger.open_request(ctx)
+
+    def after(self, ctx: RequestContext) -> None:
+        # an absorbed error still reaches ``after`` with error_type set
+        self.ledger.close_request(ctx,
+                                  error="error_type" in ctx.attrs)
+
+    def on_error(self, ctx: RequestContext) -> None:
+        self.ledger.close_request(ctx, error=True)
+
+
+class DispatchProfiler:
+    """Continuous sampling profiler over the kernel dispatch loop.
+
+    Installed on a :class:`~repro.sim.Simulator` (``profiler.install(sim)``
+    before ``run()``), the kernel routes every event through
+    :meth:`dispatch`.  Most events pass straight through (one counter
+    decrement); every ``stride`` events the wall clock is consulted, and
+    once per ``interval_us`` of real time exactly one callback dispatch
+    is timed precisely with ``perf_counter_ns``.  The sample folds under
+    a synthetic stack — the active span's ``(plane, operation)`` for the
+    process being resumed when a tracer is attached, else the callback
+    target's own name — weighted by its measured wall-ns.
+
+    Exports: :meth:`collapsed` (flamegraph.pl / speedscope collapsed
+    stacks, wall-µs weights) and :meth:`to_chrome` (Chrome trace-event
+    JSON, one complete event per sample).
+    """
+
+    def __init__(self, *, interval_us: int = 200, stride: int = 64,
+                 tracer=None, max_records: int = 20_000,
+                 wall_clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self.interval_ns = int(interval_us) * 1000
+        self.stride = int(stride)
+        self.tracer = tracer
+        self._wall = wall_clock
+        #: folded stack tuple -> [sample count, total wall-ns]
+        self.samples: Dict[Tuple[str, ...], List[int]] = {}
+        self.records: List[dict] = []
+        self.max_records = max_records
+        self.events_seen = 0
+        self.sample_count = 0
+        self._countdown = self.stride
+        self._next_ns = 0
+        self._epoch_ns = self._wall()
+        self.sim = None
+
+    def install(self, sim) -> "DispatchProfiler":
+        self.sim = sim
+        sim.profiler = self
+        return self
+
+    def uninstall(self) -> None:
+        if self.sim is not None and self.sim.profiler is self:
+            self.sim.profiler = None
+        self.sim = None
+
+    # -- the kernel-facing hot path -----------------------------------------
+    def dispatch(self, event: Any, callbacks: List[Callable]) -> None:
+        """Run one event's callbacks, sampling on the wall-clock interval."""
+        self.events_seen += 1
+        self._countdown -= 1
+        if self._countdown > 0:
+            for cb in callbacks:
+                cb(event)
+            return
+        self._countdown = self.stride
+        t0 = self._wall()
+        if t0 < self._next_ns:
+            for cb in callbacks:
+                cb(event)
+            return
+        self._next_ns = t0 + self.interval_ns
+        stack = self._stack_of(callbacks)
+        for cb in callbacks:
+            cb(event)
+        elapsed = self._wall() - t0
+        self.sample_count += 1
+        cell = self.samples.get(stack)
+        if cell is None:
+            self.samples[stack] = [1, elapsed]
+        else:
+            cell[0] += 1
+            cell[1] += elapsed
+        if len(self.records) < self.max_records:
+            self.records.append({
+                "name": stack[-1], "cat": stack[0], "ph": "X",
+                "ts": (t0 - self._epoch_ns) / 1000.0,
+                "dur": elapsed / 1000.0, "pid": 0, "tid": 0,
+                "args": {"stack": ";".join(stack),
+                         "sim_time": self.sim.now if self.sim else 0.0}})
+
+    def _stack_of(self, callbacks: List[Callable]) -> Tuple[str, ...]:
+        cb = callbacks[0] if callbacks else None
+        target = getattr(cb, "__self__", cb)
+        name = getattr(target, "name", None) \
+            or getattr(getattr(target, "fn", None), "__qualname__", None) \
+            or type(target).__name__
+        if self.tracer is not None:
+            span = self.tracer.active_span_of(target)
+            if span is not None:
+                return (span.plane or "kernel", span.op, str(name))
+        return ("kernel", "dispatch", str(name))
+
+    # -- reduction -----------------------------------------------------------
+    def folded(self) -> Dict[str, Tuple[int, int]]:
+        """``{"plane;operation;target": (samples, wall_ns)}``."""
+        return {";".join(stack): (cell[0], cell[1])
+                for stack, cell in sorted(self.samples.items())}
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text (one ``stack weight`` line per fold;
+        weights are sampled wall-µs, flamegraph.pl-compatible)."""
+        lines = [f"{stack} {max(1, wall_ns // 1000)}"
+                 for stack, (_count, wall_ns) in self.folded().items()]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome(self) -> dict:
+        return {"traceEvents": list(self.records),
+                "displayTimeUnit": "ms",
+                "metadata": {"events_seen": self.events_seen,
+                             "samples": self.sample_count}}
+
+    def top_folds(self, n: int = 10) -> List[Tuple[str, int, int]]:
+        """``[(stack, samples, wall_ns)]`` heaviest first."""
+        ranked = sorted(self.folded().items(),
+                        key=lambda kv: (-kv[1][1], kv[0]))
+        return [(stack, count, wall_ns)
+                for stack, (count, wall_ns) in ranked[:n]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<DispatchProfiler samples={self.sample_count} "
+                f"events={self.events_seen}>")
+
+
+def format_cost_report(ledger: RequestCostLedger, *, top: int = 5) -> str:
+    """Human-readable cost report: totals, heavy hitters, per-operation."""
+    lines = ["cost totals:"]
+    totals = ledger.total.as_dict()
+    lines.append("  " + "  ".join(f"{dim}={totals[dim]}"
+                                  for dim in ALL_DIMENSIONS if totals[dim]))
+    lines.append(f"heavy hitters (top {top} principals per dimension):")
+    for dim in ALL_DIMENSIONS:
+        ranked = ledger.top(dim, top)
+        if not ranked or totals[dim] == 0:
+            continue
+        parts = [f"{principal}={count}" + (f"(±{error})" if error else "")
+                 for principal, count, error in ranked]
+        lines.append(f"  {dim:>14}: " + "  ".join(parts))
+    lines.append("per-operation (requests, cpu_us, events):")
+    for name, vec in ledger.by_operation().items():
+        lines.append(f"  {name:<28} requests={vec['requests']:<8} "
+                     f"cpu_us={vec['cpu_us']:<10} events={vec['events']}")
+    return "\n".join(lines)

@@ -129,7 +129,15 @@ class LogHistogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Value at quantile ``q`` in [0, 1], from bucket boundaries."""
+        """Value at quantile ``q`` in [0, 1], from bucket boundaries.
+
+        Edge cases are pinned (tests/obs/test_accounting.py relies on
+        them): an **empty** histogram returns ``0.0`` — never None, so
+        rollup arithmetic needs no guards — and a **single** observation
+        is returned exactly for every ``q`` (including ``q=0``), because
+        the min/max clamp collapses its bucket's boundary to the lone
+        value.
+        """
         if self.count == 0:
             return 0.0
         rank = max(1, math.ceil(q * self.count))

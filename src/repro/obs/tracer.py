@@ -56,6 +56,9 @@ class Tracer:
         self._roots_seen = 0
         #: per-process stacks of active spans (in-process propagation)
         self._active: Dict[Any, List[Span]] = {}
+        #: optional RequestCostLedger — every minted span is charged to the
+        #: active request's cost vector ("spans" dimension, zero-event)
+        self.ledger = None
 
     @staticmethod
     def _check_sampling(sampling: Union[str, int]) -> Union[str, int]:
@@ -95,6 +98,8 @@ class Tracer:
             trace_id, parent_id = next(self._trace_seq), None
         else:
             trace_id, parent_id = parent.trace_id, parent.span_id
+        if self.ledger is not None:
+            self.ledger.charge("spans", 1, plane="obs", operation="span")
         return Span(trace_id, next(self._span_seq), parent_id, op,
                     plane=plane, server=server, start=self._clock(),
                     attrs=attrs)
@@ -125,6 +130,8 @@ class Tracer:
         start traces of their own."""
         if self.sampling == SAMPLE_OFF or parent is None:
             return None
+        if self.ledger is not None:
+            self.ledger.charge("spans", 1, plane="obs", operation="span")
         span = Span(parent.trace_id, next(self._span_seq), parent.span_id,
                     op, plane=plane, server=server, start=start, attrs=attrs)
         span.end = end
@@ -162,6 +169,12 @@ class Tracer:
 
     def current_span(self) -> Optional[Span]:
         stack = self._active.get(self._scope())
+        return stack[-1] if stack else None
+
+    def active_span_of(self, scope_key: Any) -> Optional[Span]:
+        """The active span of an arbitrary scope key (another process) —
+        the dispatch profiler's tag lookup, read-only."""
+        stack = self._active.get(scope_key)
         return stack[-1] if stack else None
 
     def current_context(self) -> Optional[TraceContext]:

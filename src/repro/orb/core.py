@@ -200,12 +200,15 @@ class Orb:
 
     def _serve(self, req: GiopRequest, size: int, src_host: str = ""):
         # Server-side dispatch occupies the host CPU.
-        yield from self.host.use_cpu(self.costs.corba_cost(size))
+        cpu_cost = self.costs.corba_cost(size)
+        yield from self.host.use_cpu(cpu_cost)
         ctx = RequestContext(PLANE_ORB, request_id=req.request_id,
                              principal=src_host, operation=req.operation,
                              size=size, request=req)
         # Decoded requests lack the slot entirely — it is not a wire field.
         ctx.attrs["trace_parent"] = getattr(req, "service_context", None)
+        # modeled CPU charged above, reported for cost attribution
+        ctx.attrs["cpu_cost"] = cpu_cost
         result = yield from self.pipeline.execute(ctx,
                                                   self._dispatch_servant)
         if req.oneway:

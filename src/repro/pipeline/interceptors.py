@@ -212,13 +212,19 @@ def default_pipeline(plane: str, *,
                      metrics: Optional[PipelineMetrics] = None,
                      security: Optional[SecurityManager] = None,
                      policies: Optional[PolicyManager] = None,
-                     tracer=None, server: str = "") -> Pipeline:
+                     tracer=None, server: str = "",
+                     accounting=None) -> Pipeline:
     """The standard chain for one plane: metrics → envelope → tracing →
-    security → admission → handler (tracing/security/admission only when a
-    tracer / the managers are given).
+    accounting → security → admission → handler (tracing/accounting/
+    security/admission only when a tracer / ledger / the managers are
+    given).
 
     Tracing sits inside the envelope so its ``on_error`` sees the raw
     exception before the envelope absorbs it into a reply shape.
+    Accounting (``accounting`` is a :class:`repro.obs.RequestCostLedger`)
+    sits right after tracing — the request's trace context is minted and
+    bindable — but before security/admission, so rejected and shed
+    requests are still attributed to their principal.
 
     Bare components (a :class:`~repro.web.ServletContainer` or
     :class:`~repro.orb.Orb` outside a :class:`DiscoverServer`) call this
@@ -231,6 +237,9 @@ def default_pipeline(plane: str, *,
     if tracer is not None:
         from repro.obs import TracingInterceptor
         chain.append(TracingInterceptor(tracer, server))
+    if accounting is not None:
+        from repro.obs import AccountingInterceptor
+        chain.append(AccountingInterceptor(accounting))
     if security is not None:
         chain.append(SecurityInterceptor(security))
     if policies is not None:

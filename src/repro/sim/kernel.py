@@ -114,6 +114,12 @@ class Simulator:
         #: free list of recycled internal callback events
         self._cb_pool: List[_PooledCallback] = []
         self._active_process: Optional[Process] = None
+        #: total events ever dispatched (step() and run()); the cost
+        #: ledger reads deltas of this to attribute "sim events" per request
+        self.events_dispatched = 0
+        #: optional repro.obs.DispatchProfiler — when set (before run()),
+        #: every event dispatch is routed through it for interval sampling
+        self.profiler = None
 
     # -- clock ------------------------------------------------------------
     @property
@@ -227,8 +233,12 @@ class Simulator:
         else:
             event = self._bucket_normal.popleft()
         callbacks, event.callbacks = event.callbacks, None
-        for cb in callbacks:
-            cb(event)
+        self.events_dispatched += 1
+        if self.profiler is None:
+            for cb in callbacks:
+                cb(event)
+        else:
+            self.profiler.dispatch(event, callbacks)
         if not event._ok and not event._defused:
             # A failed event nobody waited on: surface the error.
             raise event._value
@@ -264,6 +274,7 @@ class Simulator:
         urgent = self._bucket_urgent
         normal = self._bucket_normal
         pop = heapq.heappop
+        profiler = self.profiler
         try:
             while True:
                 if urgent:
@@ -285,8 +296,14 @@ class Simulator:
                 else:
                     break
                 callbacks, event.callbacks = event.callbacks, None
-                for cb in callbacks:
-                    cb(event)
+                # Kept live (not a loop local): the cost ledger reads
+                # deltas of this counter *mid-run* to attribute events.
+                self.events_dispatched += 1
+                if profiler is None:
+                    for cb in callbacks:
+                        cb(event)
+                else:
+                    profiler.dispatch(event, callbacks)
                 if not event._ok and not event._defused:
                     # A failed event nobody waited on: surface the error.
                     raise event._value

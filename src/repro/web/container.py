@@ -120,13 +120,15 @@ class ServletContainer:
         if new_session:
             session = self.sessions.create(self.sim.now)
         # Accept + servlet-engine dispatch cost on this host's CPU.
-        yield from self.host.use_cpu(
-            self.costs.http_cost(frame.size, new_session=new_session))
+        cpu_cost = self.costs.http_cost(frame.size, new_session=new_session)
+        yield from self.host.use_cpu(cpu_cost)
         ctx = RequestContext(PLANE_HTTP, request_id=request.request_id,
                              principal=frame.src_host,
                              operation=request.path, size=frame.size,
                              request=request)
         ctx.attrs["trace_parent"] = frame.trace_ctx
+        # modeled CPU charged above, reported for cost attribution
+        ctx.attrs["cpu_cost"] = cpu_cost
 
         def route(_ctx):
             servlet = self.servlet_for(request.path)

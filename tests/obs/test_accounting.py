@@ -1,0 +1,397 @@
+"""The cost-attribution plane: exact per-request accounting, the
+space-saving heavy-hitter sketch, and the dispatch profiler.
+
+The load-bearing invariant (mirrored from the PR 9 time-series merge
+tests) is **exact partition**: every charge lands in exactly one rollup
+entry, all fields are integers, so any grouping of the entries sums back
+to the ledger's running totals bit-for-bit, in any merge order.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import Reservoir
+from repro.net import Network
+from repro.obs import DispatchProfiler, RequestCostLedger
+from repro.obs.accounting import ALL_DIMENSIONS, SpaceSaving
+from repro.obs.timeseries import LogHistogram
+from repro.pipeline.core import PLANE_HTTP, RequestContext
+from repro.sim import Simulator
+
+
+def make_ledger(**kwargs):
+    """A ledger with inert clocks — pure bookkeeping, no simulator."""
+    return RequestCostLedger(clock=lambda: 0.0, scope=lambda: "proc",
+                             events_fn=lambda: 0, wall_clock=lambda: 0,
+                             **kwargs)
+
+
+class TestSpaceSaving:
+    def test_exact_within_capacity(self):
+        sk = SpaceSaving(capacity=4)
+        for item, n in (("a", 5), ("b", 3), ("c", 1)):
+            sk.add(item, n)
+        assert sk.top() == [("a", 5, 0), ("b", 3, 0), ("c", 1, 0)]
+        assert sk.guaranteed_top() == "a"
+
+    def test_eviction_inherits_floor_as_error(self):
+        sk = SpaceSaving(capacity=2)
+        sk.add("a", 10)
+        sk.add("b", 3)
+        sk.add("c", 1)  # evicts b (the minimum), inherits its count
+        (top_item, top_count, _), (item, count, error) = sk.top()
+        assert (top_item, top_count) == ("a", 10)
+        assert (item, count, error) == ("c", 4, 3)
+        # the bound holds: count - error <= true count <= count
+        assert count - error <= 1 <= count
+
+    def test_ties_rank_lexicographically(self):
+        sk = SpaceSaving(capacity=4)
+        sk.add("z", 2)
+        sk.add("a", 2)
+        assert [item for item, _c, _e in sk.top()] == ["a", "z"]
+
+    def test_guaranteed_top_refuses_ambiguity(self):
+        sk = SpaceSaving(capacity=2)
+        sk.add("a", 5)
+        sk.add("b", 4)
+        sk.add("c", 2)  # c's count 6 with error 4 — could be below a
+        assert sk.guaranteed_top() is None
+
+    def test_heavy_hitter_survives_churn(self):
+        # 1 flooder + 200 one-shot principals through a capacity-8 sketch
+        sk = SpaceSaving(capacity=8)
+        for i in range(200):
+            sk.add(f"bg{i}", 1)
+            if i % 2 == 0:
+                sk.add("flood", 3)
+        top_item, count, error = sk.top(1)[0]
+        assert top_item == "flood"
+        assert count >= 300  # upper bound never undercounts
+        assert sk.guaranteed_top() == "flood"
+
+    def test_merge_adds_counts_and_errors(self):
+        a, b = SpaceSaving(capacity=4), SpaceSaving(capacity=4)
+        a.add("x", 5)
+        b.add("x", 7)
+        b.add("y", 2)
+        a.merge_from(b)
+        assert a.top() == [("x", 12, 0), ("y", 2, 0)]
+
+
+class TestLedgerAttribution:
+    def test_scoped_charges_attribute_to_principal(self):
+        ledger = make_ledger()
+        with ledger.scoped("alice", plane="federation",
+                           operation="poll_round"):
+            ledger.charge("wal_appends", 3)
+        entry = ledger.entries[("alice", "-", "federation", "poll_round")]
+        assert entry.as_dict()["wal_appends"] == 3
+        assert ledger.total.as_dict()["wal_appends"] == 3
+
+    def test_scopeless_charge_falls_back(self):
+        ledger = make_ledger()
+        ledger.charge("spans", 2, plane="obs", operation="span")
+        assert ledger.entries[("-", "-", "obs", "span")].as_dict()[
+            "spans"] == 2
+
+    def test_request_lifecycle_charges_request_and_events(self):
+        events = {"n": 0}
+        ledger = RequestCostLedger(clock=lambda: 0.0, scope=lambda: "p",
+                                   events_fn=lambda: events["n"],
+                                   wall_clock=lambda: 0)
+        ctx = RequestContext(PLANE_HTTP, principal="bob",
+                             operation="poll")
+        ledger.open_request(ctx)
+        events["n"] += 4  # four events dispatched while handling
+        ctx.attrs["cpu_cost"] = 0.0015
+        ledger.close_request(ctx)
+        vec = ledger.entries[("bob", "-", PLANE_HTTP, "poll")].as_dict()
+        assert vec["requests"] == 1
+        # +1 for the event that delivered the request itself
+        assert vec["events"] == 5
+        assert vec["cpu_us"] == 1500
+        assert vec["errors"] == 0
+
+    def test_error_close_counts_error(self):
+        ledger = make_ledger()
+        ctx = RequestContext(PLANE_HTTP, principal="eve", operation="put")
+        ledger.open_request(ctx)
+        ledger.close_request(ctx, error=True)
+        vec = ledger.entries[("eve", "-", PLANE_HTTP, "put")].as_dict()
+        assert vec["errors"] == 1 and vec["requests"] == 1
+
+    def test_trace_binding_routes_frame_bytes(self):
+        class Ctx:
+            trace_id = 7
+
+        class Frame:
+            trace_ctx = Ctx()
+            src_host = "h1"
+            channel = "main"
+            size = 120
+
+        ledger = make_ledger()
+        ledger.bind_trace(7, ("carol", "a#1", "orb", "lookup"))
+        ledger.account_frame_hop(Frame(), wan=True)
+        vec = ledger.entries[("carol", "a#1", "orb", "lookup")].as_dict()
+        assert vec["wan_bytes"] == 120
+
+    def test_unbound_frame_falls_back_to_src_host(self):
+        class Frame:
+            trace_ctx = None
+            src_host = "h9"
+            channel = "flood"
+            size = 64
+
+        ledger = make_ledger()
+        ledger.account_frame_hop(Frame(), wan=False)
+        assert ledger.entries[("h9", "-", "net", "flood")].as_dict()[
+            "lan_bytes"] == 64
+
+    def test_trace_binding_lru_is_bounded(self):
+        ledger = make_ledger(max_trace_bindings=10)
+        for i in range(25):
+            ledger.bind_trace(i, ("p", "-", "orb", "op"))
+        assert len(ledger._bindings) == 10
+        assert 24 in ledger._bindings and 0 not in ledger._bindings
+
+    def test_timeseries_records_cost_by_plane(self):
+        ledger = make_ledger()
+        with ledger.scoped("s1", plane="orb", operation="lookup"):
+            ledger.charge("wal_appends", 2)
+        assert ledger.timeseries.query("cost.wal_appends.orb", "sum") == 2
+
+
+class TestDroppedFrameAccounting:
+    """Satellite 1: shed load is cost, not just a diagnostics deque."""
+
+    def test_unbound_port_drop_lands_in_ledger(self):
+        sim = Simulator()
+        net = Network(sim)
+        ledger = RequestCostLedger(sim)
+        net.cost_ledger = ledger
+        net.add_host("a")
+        net.add_host("b")
+        net.add_link("a", "b", latency=0.001)
+        net.send("a", 1, "b", 9, {"junk": "x"})  # port 9 never bound
+        sim.run()
+        assert net.dropped_count == 1
+        totals = ledger.total.as_dict()
+        assert totals["dropped_frames"] == 1
+        assert totals["dropped_bytes"] > 0
+        vec = ledger.entries[("a", "-", "net", "main")].as_dict()
+        assert vec["dropped_frames"] == 1
+        assert vec["dropped_bytes"] == totals["dropped_bytes"]
+
+    def test_dropped_costs_surface_in_pipeline_counters(self):
+        from repro.bench.scenarios import pipeline_counters
+        from repro.core.deployment import build_collaboratory
+
+        collab = build_collaboratory(1)
+        collab.run_bootstrap()
+        server = collab.server_of(0)
+        # spray two junk frames at an unbound port on the server host
+        for _ in range(2):
+            collab.net.send(server.host.name, 45_000, server.host.name,
+                            9, {"junk": True})
+        collab.sim.run(until=collab.sim.now + 1.0)
+        row = pipeline_counters(collab.servers.values())
+        assert row["cost_dropped_frames"] == 2
+        assert row["cost_dropped_bytes"] > 0
+
+
+class TestPartitionInvariants:
+    """Satellite 3: per-principal vectors partition the global totals."""
+
+    def test_partition_by_principal_sums_to_totals(self):
+        ledger = make_ledger()
+        for i, who in enumerate(("a", "b", "a", "c")):
+            with ledger.scoped(who, plane="orb", operation=f"op{i % 2}"):
+                ledger.charge("wal_appends", i + 1)
+                ledger.charge("spans", 1)
+        parts = ledger.partition_by("principal")
+        summed = {dim: 0 for dim in ALL_DIMENSIONS}
+        for vec in parts.values():
+            for dim, val in vec.as_dict().items():
+                summed[dim] += val
+        assert summed == ledger.total.as_dict()
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c", "d", "e"]),
+                  st.sampled_from(ALL_DIMENSIONS),
+                  st.integers(min_value=1, max_value=10**6)),
+        min_size=1, max_size=120),
+        st.integers(min_value=2, max_value=5),
+        st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_partition_invariance(self, charges, n_parts, rng):
+        """Any split of the charge stream over shard ledgers, merged in
+        any order, reproduces the single-ledger books bit-for-bit."""
+        combined = make_ledger()
+        shards = [make_ledger() for _ in range(n_parts)]
+        for i, (who, dim, n) in enumerate(charges):
+            for target in (combined, shards[i % n_parts]):
+                with target.scoped(who, plane="orb", operation="op"):
+                    target.charge(dim, n)
+        rng.shuffle(shards)
+        merged = RequestCostLedger.merged(shards)
+        assert merged.total.as_dict() == combined.total.as_dict()
+        assert {k: v.as_dict() for k, v in merged.entries.items()} \
+            == {k: v.as_dict() for k, v in combined.entries.items()}
+        merged_parts = {k: v.as_dict() for k, v
+                        in merged.partition_by("principal").items()}
+        combined_parts = {k: v.as_dict() for k, v
+                          in combined.partition_by("principal").items()}
+        assert merged_parts == combined_parts
+        summed = {dim: 0 for dim in ALL_DIMENSIONS}
+        for vec in merged_parts.values():
+            for dim, val in vec.items():
+                summed[dim] += val
+        assert summed == merged.total.as_dict()
+
+    def test_accounting_is_zero_event(self):
+        """Ledger bookkeeping schedules nothing and dispatches nothing."""
+        sim = Simulator()
+        ledger = RequestCostLedger(sim)
+        with ledger.scoped("p", plane="orb", operation="op"):
+            ledger.charge("wal_appends", 5)
+        ctx = RequestContext(PLANE_HTTP, principal="p", operation="poll")
+        ledger.open_request(ctx)
+        ledger.close_request(ctx)
+        assert sim.events_dispatched == 0
+        assert sim.peek() == math.inf  # nothing scheduled
+
+    def test_golden_e1_parity_accounting_on_vs_off(self):
+        """The E1 science row is bit-for-bit identical with the cost
+        ledger enabled and removed — accounting never perturbs virtual
+        time (the driver's golden E1/E2/E4 gates check the same property
+        against the committed tables)."""
+        from repro.bench.scenarios import run_app_scalability
+
+        on = run_app_scalability(8, duration=10.0)
+        off = run_app_scalability(8, duration=10.0,
+                                  accounting_enabled=False)
+        science = [k for k in off if not k.startswith("cost_")]
+        assert {k: off[k] for k in science} \
+            == {k: on[k] for k in science}
+        assert on["cost_requests"] > 0
+        assert off["cost_requests"] == 0
+
+
+class TestPinnedEdgeCases:
+    """Satellite 2: empty/single-observation behavior, now contractual."""
+
+    def test_log_histogram_empty_quantile_is_zero(self):
+        h = LogHistogram()
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_log_histogram_single_observation_every_quantile(self):
+        for value in (0.0037, 1.0, 812.5, 0.0, -3.0):
+            h = LogHistogram()
+            h.add(value)
+            for q in (0.0, 0.5, 0.99, 1.0):
+                assert h.quantile(q) == value, (value, q)
+
+    def test_reservoir_empty_stats_all_zero(self):
+        stats = Reservoir().stats()
+        assert (stats.count, stats.mean, stats.std) == (0, 0.0, 0.0)
+        # the ±inf min/max sentinels must never leak out
+        assert stats.minimum == 0.0 and stats.maximum == 0.0
+        assert (stats.p50, stats.p90, stats.p99) == (0.0, 0.0, 0.0)
+
+    def test_reservoir_single_observation_everywhere(self):
+        r = Reservoir()
+        r.add(42.5)
+        stats = r.stats()
+        assert stats.count == 1 and stats.std == 0.0
+        for field in ("mean", "minimum", "p50", "p90", "p99", "maximum"):
+            assert getattr(stats, field) == 42.5, field
+
+
+class TestDispatchProfiler:
+    def test_samples_fold_and_export(self):
+        # deterministic wall clock: 1 µs per tick → every stride-th
+        # event lands past the sampling interval
+        tick = {"ns": 0}
+
+        def wall():
+            tick["ns"] += 1000
+            return tick["ns"]
+
+        profiler = DispatchProfiler(interval_us=1, stride=4,
+                                    wall_clock=wall)
+        sim = Simulator()
+        profiler.install(sim)
+
+        def proc(sim):
+            for _ in range(64):
+                yield sim.timeout(0.1)
+
+        sim.spawn(proc(sim), name="busy-loop")
+        sim.run()
+        profiler.uninstall()
+        assert sim.profiler is None
+        assert profiler.sample_count > 0
+        assert profiler.events_seen == sim.events_dispatched
+        folded = profiler.folded()
+        assert any("busy-loop" in stack for stack in folded)
+        collapsed = profiler.collapsed()
+        assert collapsed.endswith("\n")
+        for line in collapsed.strip().splitlines():
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) >= 1 and ";" in stack
+        chrome = profiler.to_chrome()
+        assert chrome["metadata"]["samples"] == profiler.sample_count
+        assert all(ev["ph"] == "X" for ev in chrome["traceEvents"])
+
+    def test_uninstalled_kernel_runs_clean(self):
+        sim = Simulator()
+        profiler = DispatchProfiler()
+        profiler.install(sim)
+        profiler.uninstall()
+        done = sim.timeout(1.0)
+        sim.run(until=done)
+        assert profiler.sample_count == 0
+
+
+class TestInterceptorSeam:
+    def test_rejected_request_is_still_accounted(self):
+        """Accounting sits before admission in the chain: a request shed
+        deeper in (an exhausted token bucket) still costs its principal."""
+        from repro.obs import AccountingInterceptor
+        from repro.pipeline.core import Interceptor, Pipeline
+
+        class Shed(Interceptor):
+            name = "shed"
+
+            def before(self, ctx):
+                raise RuntimeError("bucket exhausted")
+
+        ledger = make_ledger()
+        pipeline = Pipeline([AccountingInterceptor(ledger), Shed()])
+        ctx = RequestContext(PLANE_HTTP, principal="mallory",
+                             operation="flood")
+        with pytest.raises(RuntimeError):
+            next(pipeline.execute(ctx, lambda c: None))
+        vec = ledger.entries[("mallory", "-", PLANE_HTTP, "flood")]
+        assert vec.as_dict()["requests"] == 1
+        assert vec.as_dict()["errors"] == 1
+
+    def test_successful_request_through_chain(self):
+        from repro.obs import AccountingInterceptor
+        from repro.pipeline.core import Pipeline
+
+        ledger = make_ledger()
+        pipeline = Pipeline([AccountingInterceptor(ledger)])
+        ctx = RequestContext(PLANE_HTTP, principal="alice",
+                             operation="poll")
+        with pytest.raises(StopIteration) as stop:
+            next(pipeline.execute(ctx, lambda c: "ok"))
+        assert stop.value.value == "ok"
+        vec = ledger.entries[("alice", "-", PLANE_HTTP, "poll")].as_dict()
+        assert vec["requests"] == 1 and vec["errors"] == 0

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Gate the per-operation cost trajectory: drill vs committed baseline.
+
+``check_bench_regression.py`` catches "the suite got slower"; this gate
+catches *why*-class regressions one level down: "the modeled middleware
+got fatter per operation".  It re-runs the deterministic quick
+noisy-neighbor drill (E14, fixed seed — every cost below is virtual and
+bit-for-bit reproducible), rolls the ledger up by (plane, operation),
+and compares each operation's deterministic cost dimensions (requests,
+sim events, modeled CPU µs, wire bytes, WAL appends — never wall-µs)
+against the committed ``COSTS_BASELINE.json``.
+
+Because the workload is deterministic, the expected ratio is exactly
+1.0: any drift means a code change altered modeled costs.  The default
+threshold still allows 10% so intentional small reshapes (an extra
+control message, a header field) don't demand a baseline refresh, while
+"locate_app got 20% more expensive" fails CI with the operation named.
+
+Operations present in only one report are listed but never fail the
+gate (new planes must be free to appear).  After an intentional cost
+change, refresh the baseline with::
+
+    PYTHONPATH=src python tools/check_cost_regression.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: dimensions that are deterministic functions of the workload (wall_us
+#: is real time and spans can depend on sampling — both excluded)
+GATED_DIMENSIONS = ("requests", "events", "cpu_us", "lan_bytes",
+                    "wan_bytes", "wal_appends", "errors",
+                    "dropped_frames", "dropped_bytes")
+
+#: committed baseline, at the repository root
+BASELINE = Path(__file__).resolve().parents[1] / "COSTS_BASELINE.json"
+
+
+def measured_costs() -> dict:
+    """Per-(plane/operation) deterministic cost dims from the quick drill."""
+    from repro.bench.fleet import run_noisy_neighbor_drill
+
+    row, fleet = run_noisy_neighbor_drill(
+        10, n_sessions=300, directory_shards=4, duration=20.0,
+        flood_start=5.0, flood_rate=100.0)
+    ops = {}
+    for op, dims in fleet.ledger.by_operation().items():
+        ops[op] = {d: dims.get(d, 0) for d in GATED_DIMENSIONS}
+    fleet.stop()
+    return {
+        "scenario": "E14 quick (10 servers, 300 sessions, seed 0)",
+        "dimensions": list(GATED_DIMENSIONS),
+        "operations": ops,
+        "drill": {"partition_exact": row["partition_exact"],
+                  "flooder_top_all_dims": row["flooder_top_all_dims"]},
+    }
+
+
+def compare(baseline: dict, candidate: dict, threshold: float) -> int:
+    base_ops = baseline["operations"]
+    cand_ops = candidate["operations"]
+    shared = sorted(set(base_ops) & set(cand_ops))
+    if not shared:
+        print("error: no shared operations between baseline and candidate")
+        return 1
+
+    failures = []
+    width = max(len(op) for op in shared)
+    for op in shared:
+        for dim in GATED_DIMENSIONS:
+            base = base_ops[op].get(dim, 0)
+            cand = cand_ops[op].get(dim, 0)
+            if base == cand:
+                continue
+            ratio = cand / base if base else float("inf")
+            line = (f"{op:<{width}}  {dim:<14} {base:>12} -> {cand:>12} "
+                    f"({ratio:.2f}x)")
+            if ratio > threshold or ratio < 1 / threshold:
+                failures.append(f"{line}  REGRESSED")
+            else:
+                print(f"{line}  drift within threshold")
+    for op in sorted(set(cand_ops) - set(base_ops)):
+        print(f"{op:<{width}}  new operation (not gated)")
+    for op in sorted(set(base_ops) - set(cand_ops)):
+        print(f"{op:<{width}}  retired operation (not gated)")
+
+    if failures:
+        print(f"\nFAIL: per-operation cost moved more than "
+              f"{(threshold - 1) * 100:.0f}% vs {BASELINE.name}:")
+        for line in failures:
+            print(f"  {line}")
+        print("intentional? refresh with: "
+              "PYTHONPATH=src python tools/check_cost_regression.py --update")
+        return 1
+    print(f"OK: {len(shared)} operations' cost vectors within "
+          f"{(threshold - 1) * 100:.0f}% of {BASELINE.name}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(BASELINE))
+    parser.add_argument("--threshold", type=float, default=1.10,
+                        help="fail when candidate/baseline leaves "
+                             "[1/t, t] (default 1.10 = ±10%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    args = parser.parse_args(argv)
+
+    candidate = measured_costs()
+    if not candidate["drill"]["partition_exact"]:
+        print("error: drill attribution no longer partitions exactly")
+        return 1
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(candidate, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {args.baseline} "
+              f"({len(candidate['operations'])} operations)")
+        return 0
+    if not Path(args.baseline).exists():
+        print(f"error: {args.baseline} missing — generate with --update")
+        return 1
+    with open(args.baseline, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    return compare(baseline, candidate, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lint: architectural boundaries the refactors carved out must hold.
 
-Seven checks, all AST-based:
+Eight checks, all AST-based:
 
 1. **Pipeline boundary** — the three dispatch planes
    (``repro.web.container``, ``repro.orb.core``, ``repro.core.daemon``)
@@ -55,6 +55,14 @@ Seven checks, all AST-based:
    emitters to the storage representation — they record through the
    :class:`TimeSeriesRegistry` facade (``inc`` / ``set_gauge`` /
    ``observe``) and read through ``query()``.
+
+8. **Accounting boundary** — cost representation lives in
+   :mod:`repro.obs.accounting`.  Outside that one module, naming
+   ``CostVector`` / ``SpaceSaving`` couples a caller to the ledger's
+   vector/sketch internals — callers charge through the
+   :class:`RequestCostLedger` API (``scoped`` / ``charge`` /
+   ``account_frame_hop``) and read through ``snapshot()`` /
+   ``partition_by()`` / ``top()`` / ``as_dict()``.
 
 Usage: python tools/check_pipeline_boundary.py [repo_root]
 """
@@ -126,6 +134,13 @@ TIMESERIES_ONLY_NAMES = frozenset({"LogHistogram", "TimeSeries"})
 
 #: the one module allowed to use those names, relative to the repo root
 TIMESERIES_MODULE = "src/repro/obs/timeseries.py"
+
+#: vector/sketch internals only the accounting module may name — callers
+#: charge via the RequestCostLedger API and read via snapshot()/as_dict()
+ACCOUNTING_ONLY_NAMES = frozenset({"CostVector", "SpaceSaving"})
+
+#: the one module allowed to use those names, relative to the repo root
+ACCOUNTING_MODULE = "src/repro/obs/accounting.py"
 
 
 def forbidden_imports(path: Path) -> list:
@@ -312,6 +327,29 @@ def timeseries_leaks(path: Path) -> list:
     return hits
 
 
+def accounting_leaks(path: Path) -> list:
+    """(lineno, what) pairs for accounting internals used in ``path``.
+
+    Mirrors :func:`timeseries_leaks`: naming ``CostVector`` /
+    ``SpaceSaving`` outside ``repro/obs/accounting.py`` couples a caller
+    to the cost-vector/sketch representation; callers use the
+    :class:`RequestCostLedger` facade (exact names only, so
+    ``RequestCostLedger`` itself stays legal everywhere).
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = node.id if isinstance(node, ast.Name) else node.attr
+            if name in ACCOUNTING_ONLY_NAMES:
+                hits.append((node.lineno, f"uses {name!r}"))
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in ACCOUNTING_ONLY_NAMES:
+                    hits.append((node.lineno, f"imports {alias.name}"))
+    return hits
+
+
 def core_file_io(path: Path) -> list:
     """(lineno, what) pairs for direct file I/O in a core module.
 
@@ -359,6 +397,7 @@ def main(argv) -> int:
     storage_checked = 0
     core_checked = 0
     timeseries_checked = 0
+    accounting_checked = 0
     for path in sorted((root / "src" / "repro").rglob("*.py")):
         rel = path.relative_to(root)
         if not (fed_root in path.parents or path.parent == fed_root):
@@ -403,6 +442,13 @@ def main(argv) -> int:
                     f"{rel}:{lineno}: {what} — bucket/series internals "
                     f"stay in repro.obs.timeseries; emitters use the "
                     f"TimeSeriesRegistry facade")
+        if str(rel) != ACCOUNTING_MODULE:
+            accounting_checked += 1
+            for lineno, what in accounting_leaks(path):
+                failures.append(
+                    f"{rel}:{lineno}: {what} — cost-vector/sketch "
+                    f"internals stay in repro.obs.accounting; callers "
+                    f"use the RequestCostLedger facade")
         if core_root in path.parents or path.parent == core_root:
             core_checked += 1
             for lineno, what in core_file_io(path):
@@ -422,7 +468,8 @@ def main(argv) -> int:
           f"directory boundary OK ({directory_checked} modules clean); "
           f"storage boundary OK ({storage_checked} modules clean, "
           f"{core_checked} core modules I/O-free); "
-          f"time-series boundary OK ({timeseries_checked} modules clean)")
+          f"time-series boundary OK ({timeseries_checked} modules clean); "
+          f"accounting boundary OK ({accounting_checked} modules clean)")
     return 0
 
 
